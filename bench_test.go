@@ -1,0 +1,149 @@
+// Package spongefiles_test holds one testing.B benchmark per table and
+// figure of the paper's evaluation (§4). Each benchmark runs its
+// experiment harness and reports the headline quantities as custom
+// metrics, so `go test -bench=. -benchmem` regenerates every result in
+// one sweep. Benchmarks default to reduced dataset sizes to stay fast;
+// cmd/benchtab reruns them at the paper's full scale (-size 1.0), and
+// EXPERIMENTS.md records the full-scale paper-versus-measured numbers.
+package spongefiles_test
+
+import (
+	"fmt"
+	"testing"
+
+	"spongefiles/internal/bench"
+	"spongefiles/internal/media"
+	"spongefiles/internal/workload"
+)
+
+// benchSize keeps the macro benchmarks tractable under `go test -bench`.
+const benchSize = 0.1
+
+// BenchmarkTable1 regenerates the §4.1 microbenchmark: average time to
+// spill a 1 MB buffer to each of the six media. Paper row:
+// 1 / 7 / 9 / 25 / 174 / 499 ms.
+func BenchmarkTable1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := bench.Table1(200)
+		for _, r := range rows {
+			b.ReportMetric(r.AvgMs, shortMedium(r.Medium)+"_ms")
+		}
+	}
+}
+
+func shortMedium(m string) string {
+	switch m {
+	case "local shared memory":
+		return "shm"
+	case "local memory (local sponge server)":
+		return "ipc"
+	case "remote memory, over the network":
+		return "remote"
+	case "disk":
+		return "disk"
+	case "disk with background IO":
+		return "disk_bgio"
+	default:
+		return "disk_bgio_pressure"
+	}
+}
+
+// BenchmarkFigure1a regenerates the reduce-input-size CDFs of Fig. 1(a).
+func BenchmarkFigure1a(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := bench.Fig1(nil)
+		med := res.AllTasks[4].Value
+		max := res.AllTasks[len(res.AllTasks)-1].Value
+		b.ReportMetric(med/float64(media.MB), "median_MB")
+		b.ReportMetric(max/float64(media.GB), "max_GB")
+	}
+}
+
+// BenchmarkFigure1b regenerates the per-job skewness CDF of Fig. 1(b).
+func BenchmarkFigure1b(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := bench.Fig1(nil)
+		b.ReportMetric(res.HighlySkewedFraction*100, "pct_highly_skewed")
+	}
+}
+
+// BenchmarkFigure4 regenerates the isolation macrobenchmark: the three
+// jobs, disk versus SpongeFiles, 4 GB versus 16 GB nodes.
+func BenchmarkFigure4(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		for _, cell := range bench.Fig4(benchSize) {
+			b.ReportMetric(cell.Seconds, cell.Label+"_s")
+		}
+	}
+}
+
+// BenchmarkFigure5 regenerates the disk-contention macrobenchmark (the
+// background 1 TB grep job occupying spare slots).
+func BenchmarkFigure5(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		for _, cell := range bench.Fig5(benchSize) {
+			b.ReportMetric(cell.Seconds, cell.Label+"_s")
+		}
+	}
+}
+
+// BenchmarkFigure6 regenerates the memory-configuration comparison:
+// cached disk, 12 GB local-only sponge, no spilling, and 1 GB/node
+// SpongeFiles.
+func BenchmarkFigure6(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		for ci, cell := range bench.Fig6(benchSize) {
+			b.ReportMetric(cell.Seconds, fmt.Sprintf("%s_cfg%d_s", cell.Kind, ci%4))
+		}
+	}
+}
+
+// BenchmarkTable2 regenerates the straggler statistics: input bytes,
+// spilled bytes, spilled chunks, and the derived fragmentation (< 1% in
+// the paper).
+func BenchmarkTable2(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		for _, r := range bench.Table2(benchSize) {
+			b.ReportMetric(r.InputGB, r.Kind.String()+"_inGB")
+			b.ReportMetric(r.SpilledGB, r.Kind.String()+"_spillGB")
+			b.ReportMetric(float64(r.SpilledChunks), r.Kind.String()+"_chunks")
+			b.ReportMetric(r.Fragmentation*100, r.Kind.String()+"_frag_pct")
+		}
+	}
+}
+
+// BenchmarkGrepVariance regenerates the §4.2.3 interference analysis:
+// background grep task runtimes under disk versus sponge spilling.
+func BenchmarkGrepVariance(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := bench.GrepVariance(benchSize)
+		dMed, dMax := bench.MedianMax(res.DiskSecs)
+		sMed, sMax := bench.MedianMax(res.SpongeSecs)
+		b.ReportMetric(dMed, "disk_median_s")
+		b.ReportMetric(dMax, "disk_max_s")
+		b.ReportMetric(sMed, "sponge_median_s")
+		b.ReportMetric(sMax, "sponge_max_s")
+	}
+}
+
+// BenchmarkFailureAnalysis regenerates §4.3's Poisson failure table.
+func BenchmarkFailureAnalysis(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := bench.FailureTable()
+		b.ReportMetric(rows[0].Probability*1e6, "P1_ppm")
+		b.ReportMetric(rows[len(rows)-1].Probability*1e6, "P40_ppm")
+	}
+}
+
+// BenchmarkSkewnessEstimator measures the Figure 1(b) statistic itself.
+func BenchmarkSkewnessEstimator(b *testing.B) {
+	pop := workload.DefaultJobPopulation()
+	pop.Jobs = 100
+	jobs := pop.Generate()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, j := range jobs {
+			workload.Skewness(j.TaskInputs)
+		}
+	}
+}

@@ -1,0 +1,91 @@
+// Mrrun executes one of the paper's macro jobs on a simulated cluster
+// and reports the runtime and straggler statistics.
+//
+// Usage:
+//
+//	mrrun -job median|anchortext|spam [-mem GB] [-sponge] [-spongemem GB]
+//	      [-contend] [-noremote] [-nospill] [-size f] [-workers n]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"spongefiles/internal/bench"
+	"spongefiles/internal/media"
+)
+
+func main() {
+	job := flag.String("job", "median", "median | anchortext | spam")
+	counters := flag.Bool("counters", false, "print aggregated job counters")
+	mem := flag.Int64("mem", 16, "node memory in GB")
+	sponge := flag.Bool("sponge", false, "spill to SpongeFiles instead of disk")
+	spongeMem := flag.Int64("spongemem", 1, "sponge memory per node in GB")
+	contend := flag.Bool("contend", false, "run the background 1 TB grep job")
+	noremote := flag.Bool("noremote", false, "disable remote sponge memory")
+	nospill := flag.Bool("nospill", false, "huge heap, no spilling (optimal baseline)")
+	size := flag.Float64("size", 1.0, "dataset scale factor")
+	workers := flag.Int("workers", 0, "worker nodes (default 29)")
+	flag.Parse()
+
+	var kind bench.JobKind
+	switch *job {
+	case "median":
+		kind = bench.Median
+	case "anchortext":
+		kind = bench.Anchortext
+	case "spam":
+		kind = bench.SpamQuantiles
+	default:
+		fmt.Fprintf(os.Stderr, "unknown job %q\n", *job)
+		os.Exit(2)
+	}
+	res := bench.RunMacro(kind, bench.MacroConfig{
+		NodeMemory:     *mem * media.GB,
+		Sponge:         *sponge,
+		SpongeMemory:   *spongeMem * media.GB,
+		RemoteDisabled: *noremote,
+		NoSpill:        *nospill,
+		Contention:     *contend,
+		SizeFactor:     *size,
+		Workers:        *workers,
+	})
+	fmt.Printf("job:                %s\n", res.Kind)
+	fmt.Printf("runtime:            %.1f s\n", res.Runtime.Seconds())
+	fmt.Printf("straggler input:    %s\n", bench.HumanBytes(float64(res.StragglerInput)))
+	fmt.Printf("straggler spilled:  %s in %d chunks\n",
+		bench.HumanBytes(float64(res.StragglerSpilled)), res.StragglerChunks)
+	if st := res.StragglerRun; st != nil {
+		fmt.Printf("straggler runtime:  %.1f s on node %d (spill files %d, merge rounds %d, machines %d)\n",
+			st.Duration().Seconds(), st.Node, st.Spill.Files, st.MergeRounds, st.Spill.Machines)
+		fmt.Printf("straggler chunks:   local-mem %d, remote-mem %d, local-disk %d, remote-fs %d\n",
+			st.Spill.ByKind[0], st.Spill.ByKind[1], st.Spill.ByKind[2], st.Spill.ByKind[3])
+	}
+	d := res.StragglerDisk
+	fmt.Printf("straggler disk:     read %s, wrote %s, %d seeks, absorbed %s, cache hits %s, throttle %.1f s\n",
+		bench.HumanBytes(float64(d.PlatterReadBytes)), bench.HumanBytes(float64(d.PlatterWriteBytes)),
+		d.Seeks, bench.HumanBytes(float64(d.AbsorbedBytes)), bench.HumanBytes(float64(d.CacheHitBytes)),
+		d.ThrottleTime.Seconds())
+	if kind == bench.Median {
+		fmt.Printf("median value:       %.3f\n", res.MedianValue)
+	}
+	if len(res.GrepTaskSecs) > 0 {
+		med, max := bench.MedianMax(res.GrepTaskSecs)
+		fmt.Printf("grep tasks:         %d done, median %.1f s, max %.1f s\n",
+			len(res.GrepTaskSecs), med, max)
+	}
+	if *counters && res.Job != nil {
+		fmt.Println("counters:")
+		agg := res.Job.Counters()
+		names := make([]string, 0, len(agg))
+		for n := range agg {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		for _, n := range names {
+			fmt.Printf("  %-24s %d\n", n, agg[n])
+		}
+	}
+}

@@ -1,0 +1,99 @@
+// Failurerecovery demonstrates SpongeFiles' failure semantics (§3.1 and
+// §4.3): a reduce task spills across several rack peers, one of those
+// peers dies mid-job, the task's read hits a lost chunk and fails, and
+// the MapReduce framework restarts it — the job still completes with
+// the right answer. It then prints the §4.3 probability model showing
+// why this trade is acceptable.
+//
+//	go run ./examples/failurerecovery
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"spongefiles/internal/cluster"
+	"spongefiles/internal/dfs"
+	"spongefiles/internal/failure"
+	"spongefiles/internal/mapreduce"
+	"spongefiles/internal/media"
+	"spongefiles/internal/simtime"
+	"spongefiles/internal/spill"
+	"spongefiles/internal/sponge"
+	"spongefiles/internal/workload"
+)
+
+func main() {
+	cfg := cluster.PaperConfig()
+	cfg.Workers = 6
+	cfg.SpongeMemory = 256 * media.MB
+
+	sim := simtime.New()
+	c := cluster.New(sim, cfg)
+	fs := dfs.New(c)
+	eng := mapreduce.NewEngine(c, fs)
+	svc := sponge.Start(c, sponge.DefaultConfig())
+
+	nums := workload.DefaultNumbers(c.Cfg.Scale)
+	nums.TotalVirtual = media.GB // 1 GB: a quick demonstration
+	fs.AddExisting("/in/numbers", nums.TotalVirtual)
+	splits := len(fs.Lookup("/in/numbers").Blocks)
+
+	conf := mapreduce.JobConf{
+		Name:        "sum",
+		Input:       nums.Input("/in/numbers", splits),
+		NumReducers: 1,
+		Map: func(ctx *mapreduce.TaskContext, k, v []byte, emit mapreduce.Emit) {
+			emit(v[:8], v[8:]) // route everything to the one reducer
+		},
+		Reduce: func(ctx *mapreduce.TaskContext, key []byte, vals *mapreduce.ValueIter, emit mapreduce.Emit) {
+			for {
+				if _, ok := vals.Next(); !ok {
+					break
+				}
+			}
+		},
+		SpillFactory: spill.SpongeFactory(svc),
+	}
+
+	// Kill a rack peer ~45 s in — while the straggling reduce's chunks
+	// are spread across the rack.
+	failure.InjectNodeFailure(svc, eng, 3, 45*simtime.Second)
+
+	var res *mapreduce.JobResult
+	sim.Spawn("driver", func(p *simtime.Proc) {
+		res = eng.Submit(conf).Wait(p)
+	})
+	if _, err := sim.Run(); err != nil {
+		log.Fatal(err)
+	}
+
+	if res.Failed {
+		log.Fatal("job failed outright — restart path broken")
+	}
+	fmt.Printf("job completed in %.1f s (virtual)\n", res.Duration().Seconds())
+	attempts := map[string]int{}
+	var failedAttempts int
+	for _, tr := range res.Tasks {
+		key := fmt.Sprintf("%s-%d", tr.Kind, tr.Index)
+		attempts[key]++
+		if tr.Err != nil {
+			failedAttempts++
+			fmt.Printf("  attempt %d of %s failed on node %d: %v\n",
+				tr.Attempt, key, tr.Node, tr.Err)
+		}
+	}
+	if failedAttempts == 0 {
+		fmt.Println("  (the dying node held none of this run's chunks — rerun to see a restart)")
+	} else {
+		fmt.Printf("  framework restarted the task; %d attempt(s) lost to the node failure\n", failedAttempts)
+	}
+
+	fmt.Println("\n§4.3 failure model (MTTF 100 months, task of 120 min):")
+	for _, row := range failure.Table(120*simtime.Minute, failure.PaperMTTF(), []int{1, 5, 10, 20, 40}) {
+		fmt.Printf("  data on %2d machines -> P(failure) = %.4f%%\n",
+			row.Machines, row.Probability*100)
+	}
+	fmt.Println("\neven rack-wide spilling adds only ~0.1% failure probability —")
+	fmt.Println("and SpongeFiles shorten long tasks, shrinking the window further.")
+}

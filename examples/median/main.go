@@ -1,0 +1,51 @@
+// Median runs the paper's MapReduce median job (§4.2.1) end to end on a
+// simulated 29-node cluster, once with stock disk spilling and once with
+// SpongeFiles, and prints both runtimes and the straggler's spill
+// statistics (the job behind Table 2's first row and the biggest wins in
+// Figures 4 and 5).
+//
+//	go run ./examples/median [-size 0.25]
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"spongefiles/internal/bench"
+	"spongefiles/internal/media"
+)
+
+func main() {
+	size := flag.Float64("size", 0.25, "dataset scale (1.0 = the paper's 10 GB)")
+	flag.Parse()
+
+	fmt.Printf("median of the numbers dataset at %.0f%% of the paper's size\n\n", *size*100)
+	var runtimes [2]float64
+	for i, sponge := range []bool{false, true} {
+		mode := "disk spilling (stock Hadoop)"
+		if sponge {
+			mode = "SpongeFile spilling"
+		}
+		res := bench.RunMacro(bench.Median, bench.MacroConfig{
+			NodeMemory: 4 * media.GB, // the paper's low-memory configuration
+			Sponge:     sponge,
+			SizeFactor: *size,
+		})
+		runtimes[i] = res.Runtime.Seconds()
+		fmt.Printf("%s\n", mode)
+		fmt.Printf("  job runtime:       %7.1f s\n", res.Runtime.Seconds())
+		fmt.Printf("  median value:      %.3f\n", res.MedianValue)
+		fmt.Printf("  straggler input:   %s\n", bench.HumanBytes(float64(res.StragglerInput)))
+		fmt.Printf("  straggler spilled: %s", bench.HumanBytes(float64(res.StragglerSpilled)))
+		if sponge {
+			fmt.Printf(" in %d sponge chunks across %d machines",
+				res.StragglerChunks, res.StragglerRun.Spill.Machines)
+		} else {
+			fmt.Printf(" to local disk (%d merge rounds)", res.StragglerRun.MergeRounds)
+		}
+		fmt.Println()
+		fmt.Println()
+	}
+	fmt.Printf("SpongeFiles reduced the runtime by %.0f%%\n",
+		(1-runtimes[1]/runtimes[0])*100)
+}

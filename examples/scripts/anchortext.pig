@@ -1,0 +1,11 @@
+-- Frequent Anchortext (SpongeFiles paper, §4.2.1): group web pages by
+-- language and find the 10 most frequently-occurring anchortext terms
+-- per language — a holistic UDF over skewed groups.
+--
+--   go run ./cmd/pigrun -size 0.1 examples/scripts/anchortext.pig
+
+pages = LOAD 'web' AS (url, domain, language, spam, terms, meta);
+proj  = FOREACH pages GENERATE language, terms;
+grps  = GROUP proj BY language;
+top   = FOREACH grps GENERATE group, TOPK(terms, 10);
+STORE top INTO 'frequent-anchortext';

@@ -1,0 +1,11 @@
+-- Spam Quantiles (SpongeFiles paper, §4.2.1): group web pages by domain
+-- and compute the spam-score quantiles per domain with an ordered bag.
+-- Deliberately no projection: the "hastily-assembled ad-hoc UDF" plan
+-- whose straggler spills several times its input.
+--
+--   go run ./cmd/pigrun -size 0.1 examples/scripts/spamquantiles.pig
+
+pages = LOAD 'web' AS (url, domain, language, spam, terms, meta);
+grps  = GROUP pages BY domain;
+quant = FOREACH grps GENERATE group, QUANTILES(spam, 10);
+STORE quant INTO 'spam-quantiles';

@@ -1,0 +1,3 @@
+module spongefiles
+
+go 1.22

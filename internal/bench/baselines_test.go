@@ -1,0 +1,37 @@
+package bench
+
+import (
+	"testing"
+)
+
+func TestRemotePagingFarSlowerThanSponge(t *testing.T) {
+	rows := RemotePagingComparison()
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	paging, spg := rows[0], rows[1]
+	// §1: each page access pays a network round trip; SpongeFiles
+	// amortize the trip over whole chunks, so the pager must be several
+	// times slower for the same 64 MB spill.
+	if paging.Millis < 2*spg.Millis {
+		t.Fatalf("paging should be far slower: paging=%.0fms sponge=%.0fms",
+			paging.Millis, spg.Millis)
+	}
+}
+
+func TestSkewAvoidanceHelpsPartitionableWorkOnly(t *testing.T) {
+	rows := SkewAvoidanceComparison(0.1)
+	byKey := map[string]float64{}
+	for _, r := range rows {
+		byKey[r.Job+"/"+r.Strategy] = r.Seconds
+	}
+	// Range partitioning must improve the partitionable aggregation.
+	if byKey["count-by-domain/range(sampled)"] >= byKey["count-by-domain/hash"] {
+		t.Fatalf("range partitioning should beat hash on skewed groupings: %v", byKey)
+	}
+	// For the median there is no partitioning fix; SpongeFiles still
+	// help (§2.2's conclusion).
+	if byKey["median/spongefiles"] >= byKey["median/any partitioning (single group)"] {
+		t.Fatalf("spongefiles should beat disk on the unpartitionable job: %v", byKey)
+	}
+}

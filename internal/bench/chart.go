@@ -1,0 +1,71 @@
+package bench
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"spongefiles/internal/workload"
+)
+
+// ASCIICDF renders a CDF as a rows×width text chart with a log-scaled x
+// axis when the values span several orders of magnitude (Figure 1(a) is
+// log-x in the paper). Each row is a fraction of the population; the bar
+// marks where that fraction's value falls.
+func ASCIICDF(title string, pts []workload.CDFPoint, width int) string {
+	if len(pts) == 0 {
+		return title + ": (no data)\n"
+	}
+	if width <= 10 {
+		width = 60
+	}
+	min, max := pts[0].Value, pts[0].Value
+	for _, p := range pts {
+		if p.Value < min {
+			min = p.Value
+		}
+		if p.Value > max {
+			max = p.Value
+		}
+	}
+	logScale := min > 0 && max/min > 100
+	pos := func(v float64) int {
+		var f float64
+		switch {
+		case max == min:
+			f = 1
+		case logScale:
+			f = (math.Log10(v) - math.Log10(min)) / (math.Log10(max) - math.Log10(min))
+		default:
+			f = (v - min) / (max - min)
+		}
+		p := int(f * float64(width-1))
+		if p < 0 {
+			p = 0
+		}
+		if p >= width {
+			p = width - 1
+		}
+		return p
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", title)
+	scale := "linear"
+	if logScale {
+		scale = "log"
+	}
+	fmt.Fprintf(&b, "x: %s .. %s (%s scale)\n", HumanBytes(min), HumanBytes(max), scale)
+	for _, p := range pts {
+		bar := make([]byte, width)
+		for i := range bar {
+			bar[i] = ' '
+		}
+		end := pos(p.Value)
+		for i := 0; i <= end; i++ {
+			bar[i] = '='
+		}
+		bar[end] = '#'
+		fmt.Fprintf(&b, "%7.4f |%s| %s\n", p.Fraction, bar, HumanBytes(p.Value))
+	}
+	return b.String()
+}

@@ -1,0 +1,52 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+
+	"spongefiles/internal/workload"
+)
+
+func TestASCIICDFLogScale(t *testing.T) {
+	pts := []workload.CDFPoint{
+		{Value: 1e3, Fraction: 0.1},
+		{Value: 1e6, Fraction: 0.5},
+		{Value: 1e9, Fraction: 0.9},
+	}
+	out := ASCIICDF("sizes", pts, 40)
+	if !strings.Contains(out, "log scale") {
+		t.Fatal("wide-spread data should use a log axis")
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 2+len(pts) {
+		t.Fatalf("lines = %d", len(lines))
+	}
+	// Bars must be monotone in length.
+	prev := -1
+	for _, ln := range lines[2:] {
+		n := strings.Count(ln, "=") + strings.Count(ln, "#")
+		if n <= prev {
+			t.Fatalf("bars not monotone:\n%s", out)
+		}
+		prev = n
+	}
+}
+
+func TestASCIICDFLinearAndEdgeCases(t *testing.T) {
+	pts := []workload.CDFPoint{
+		{Value: 10, Fraction: 0.5},
+		{Value: 20, Fraction: 1.0},
+	}
+	out := ASCIICDF("narrow", pts, 30)
+	if !strings.Contains(out, "linear") {
+		t.Fatal("narrow data should use a linear axis")
+	}
+	if got := ASCIICDF("empty", nil, 30); !strings.Contains(got, "no data") {
+		t.Fatal("empty input should say so")
+	}
+	// Degenerate: all equal values must not divide by zero.
+	same := []workload.CDFPoint{{Value: 5, Fraction: 0.5}, {Value: 5, Fraction: 1}}
+	if got := ASCIICDF("same", same, 30); !strings.Contains(got, "#") {
+		t.Fatal("degenerate CDF should still render")
+	}
+}

@@ -1,0 +1,130 @@
+package bench
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+
+	"spongefiles/internal/media"
+	"spongefiles/internal/workload"
+)
+
+// Effectiveness reproduces §4.3's "Effectiveness" analysis: for
+// SpongeFiles to absorb spills in memory, the aggregate intermediate
+// data of running jobs must stay well below the cluster's aggregate
+// memory. The paper studied a month of Yahoo! clusters and found the
+// aggregate intermediate data is at most ~25% of cluster memory, because
+// (a) maps filter ~90% of their input on average and (b) most jobs are
+// small ad-hoc queries.
+//
+// We model a month of the synthetic job population arriving as a
+// Poisson-ish stream on a multi-thousand-node cluster, each job holding
+// its intermediate data (its reduce inputs, i.e. the ~10% of its input
+// surviving the map filter — the population models reduce inputs
+// directly) for a duration proportional to its size, and measure the
+// concurrent total over time.
+
+// EffectivenessResult summarizes the concurrency analysis.
+type EffectivenessResult struct {
+	ClusterMemory  float64 // virtual bytes
+	PeakFraction   float64 // max intermediate / cluster memory
+	P99Fraction    float64
+	MedianFraction float64
+}
+
+// EffectivenessConfig sizes the modeled cluster and load.
+type EffectivenessConfig struct {
+	Nodes      int
+	NodeMemory int64
+	MonthJobs  int
+	Seed       int64
+	// ScanRate converts a job's intermediate bytes to a lifetime: data
+	// is held roughly while the reduce phase processes it.
+	ScanRate float64 // virtual bytes/second of aggregate reduce progress
+}
+
+// DefaultEffectiveness models a 4000-node, 16 GB/node production
+// cluster running the Figure 1 job population over one month.
+func DefaultEffectiveness() EffectivenessConfig {
+	return EffectivenessConfig{
+		Nodes:      4000,
+		NodeMemory: 16 * media.GB,
+		MonthJobs:  20000,
+		Seed:       17,
+		ScanRate:   40 * float64(media.MB), // per-task reduce progress
+	}
+}
+
+// Effectiveness runs the analysis.
+func Effectiveness(cfg EffectivenessConfig) EffectivenessResult {
+	if cfg.Nodes <= 0 {
+		cfg = DefaultEffectiveness()
+	}
+	pop := workload.DefaultJobPopulation()
+	pop.Jobs = cfg.MonthJobs
+	pop.Seed = cfg.Seed
+	jobs := pop.Generate()
+
+	const monthSecs = 30 * 24 * 3600
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	type interval struct {
+		start, end float64
+		bytes      float64
+	}
+	intervals := make([]interval, 0, len(jobs))
+	for _, j := range jobs {
+		var total float64
+		var maxTask float64
+		for _, in := range j.TaskInputs {
+			total += in
+			if in > maxTask {
+				maxTask = in
+			}
+		}
+		start := rng.Float64() * monthSecs
+		// The job holds its intermediate data while its slowest reduce
+		// scans its input (spill + read back).
+		life := 2 * maxTask / cfg.ScanRate
+		if life < 10 {
+			life = 10
+		}
+		intervals = append(intervals, interval{start: start, end: start + life, bytes: total})
+	}
+
+	// Sweep the month: event points at every start/end.
+	type event struct {
+		at    float64
+		delta float64
+	}
+	events := make([]event, 0, 2*len(intervals))
+	for _, iv := range intervals {
+		events = append(events, event{iv.start, iv.bytes}, event{iv.end, -iv.bytes})
+	}
+	sort.Slice(events, func(i, j int) bool { return events[i].at < events[j].at })
+
+	clusterMem := float64(cfg.Nodes) * float64(cfg.NodeMemory)
+	var cur, peak float64
+	var samples []float64
+	for _, e := range events {
+		cur += e.delta
+		if cur > peak {
+			peak = cur
+		}
+		samples = append(samples, cur)
+	}
+	sort.Float64s(samples)
+	frac := func(q float64) float64 {
+		if len(samples) == 0 {
+			return 0
+		}
+		idx := int(q * float64(len(samples)-1))
+		return samples[idx] / clusterMem
+	}
+	return EffectivenessResult{
+		ClusterMemory:  clusterMem,
+		PeakFraction:   math.Max(peak/clusterMem, 0),
+		P99Fraction:    frac(0.99),
+		MedianFraction: frac(0.5),
+	}
+}

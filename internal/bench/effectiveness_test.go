@@ -1,0 +1,47 @@
+package bench
+
+import (
+	"testing"
+
+	"spongefiles/internal/media"
+)
+
+func TestEffectivenessMatchesPaperBound(t *testing.T) {
+	res := Effectiveness(DefaultEffectiveness())
+	// §4.3: at any point in time the aggregate intermediate data is at
+	// most ~25% of cluster memory; typical load is far below the peak.
+	if res.PeakFraction <= 0 {
+		t.Fatal("no intermediate data modeled")
+	}
+	if res.PeakFraction > 0.40 {
+		t.Fatalf("peak fraction = %.2f, should stay well under cluster memory", res.PeakFraction)
+	}
+	if res.MedianFraction >= res.P99Fraction || res.P99Fraction > res.PeakFraction {
+		t.Fatalf("fractions not ordered: med=%.3f p99=%.3f peak=%.3f",
+			res.MedianFraction, res.P99Fraction, res.PeakFraction)
+	}
+}
+
+func TestEffectivenessScalesWithClusterSize(t *testing.T) {
+	small := DefaultEffectiveness()
+	small.Nodes = 1000
+	big := DefaultEffectiveness()
+	big.Nodes = 8000
+	rs, rb := Effectiveness(small), Effectiveness(big)
+	// The same load on more memory occupies a smaller fraction.
+	if rb.PeakFraction >= rs.PeakFraction {
+		t.Fatalf("bigger cluster should have smaller fraction: %.3f vs %.3f",
+			rb.PeakFraction, rs.PeakFraction)
+	}
+	if rb.ClusterMemory != 8000*16*float64(media.GB) {
+		t.Fatalf("cluster memory = %g", rb.ClusterMemory)
+	}
+}
+
+func TestEffectivenessDeterministic(t *testing.T) {
+	a := Effectiveness(DefaultEffectiveness())
+	b := Effectiveness(DefaultEffectiveness())
+	if a != b {
+		t.Fatalf("analysis not deterministic: %+v vs %+v", a, b)
+	}
+}

@@ -1,0 +1,31 @@
+package bench
+
+import (
+	"testing"
+)
+
+func TestRackLocalityAblation(t *testing.T) {
+	rows := RackLocalityAblation()
+	var local, global RackRow
+	for _, r := range rows {
+		if r.RackLocalOnly {
+			local = r
+		} else {
+			global = r
+		}
+	}
+	// Rack-local policy: the exhausted rack falls back to disk, and the
+	// task's spill never crosses the uplink.
+	if local.DiskChunks == 0 {
+		t.Fatal("rack-local spill should fall back to disk")
+	}
+	// Cross-rack policy: the spill leaves the rack and crosses the
+	// uplink (the measured bytes include the background flow; the
+	// disk-chunk count isolates the spill's placement).
+	if global.DiskChunks != 0 {
+		t.Fatalf("cross-rack spill should find rack-1 memory, got %d disk chunks", global.DiskChunks)
+	}
+	if global.CrossRackBytes <= local.CrossRackBytes {
+		t.Fatal("cross-rack mode should move more bytes over the uplink")
+	}
+}

@@ -1,0 +1,319 @@
+// Package dfs implements a small HDFS-like distributed filesystem on the
+// simulated cluster: files are split into fixed-size blocks, each block
+// is replicated on several nodes (first replica local to the writer), and
+// readers stream the nearest replica — local disk when possible, a remote
+// node's disk plus a network transfer otherwise.
+//
+// The MapReduce engine stores job input here (splits follow block
+// boundaries and the scheduler uses replica locations for locality), and
+// SpongeFiles use it as the last-resort spill medium via the
+// sponge.RemoteStore adapter.
+package dfs
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"spongefiles/internal/cluster"
+	"spongefiles/internal/media"
+	"spongefiles/internal/simtime"
+)
+
+// DefaultBlockVirtual is the block (and map-split) size, 128 MB as in the
+// paper's Hadoop.
+const DefaultBlockVirtual = 128 * media.MB
+
+// Block is one replicated extent of a file.
+type Block struct {
+	Offset   int64 // virtual bytes from file start
+	Size     int64 // virtual bytes
+	Replicas []int // node IDs
+	// streams are the per-replica disk streams, keyed by node ID.
+	streams map[int]media.StreamID
+}
+
+// FileMeta is the namenode's record of one file.
+type FileMeta struct {
+	Name   string
+	Size   int64 // virtual bytes
+	Blocks []*Block
+	// data holds real payload bytes for files written through Writer
+	// (spills); pre-loaded input files carry no payload, only I/O cost.
+	data []byte
+}
+
+// DFS is the filesystem: a single in-process namenode over the cluster's
+// node disks.
+type DFS struct {
+	c            *cluster.Cluster
+	BlockVirtual int64
+	Replication  int
+	files        map[string]*FileMeta
+	rng          *rand.Rand
+}
+
+// New creates a DFS with 128 MB blocks and 3-way replication.
+func New(c *cluster.Cluster) *DFS {
+	return &DFS{
+		c:            c,
+		BlockVirtual: DefaultBlockVirtual,
+		Replication:  3,
+		files:        make(map[string]*FileMeta),
+		rng:          rand.New(rand.NewSource(42)),
+	}
+}
+
+// placeBlock picks replica nodes: the preferred node first (if any), then
+// distinct random nodes.
+func (d *DFS) placeBlock(preferred int) []int {
+	n := d.Replication
+	if n > len(d.c.Nodes) {
+		n = len(d.c.Nodes)
+	}
+	used := map[int]bool{}
+	var reps []int
+	if preferred >= 0 && preferred < len(d.c.Nodes) {
+		reps = append(reps, preferred)
+		used[preferred] = true
+	}
+	for len(reps) < n {
+		id := d.rng.Intn(len(d.c.Nodes))
+		if !used[id] {
+			used[id] = true
+			reps = append(reps, id)
+		}
+	}
+	return reps
+}
+
+func (d *DFS) blockStream(b *Block, node int) media.StreamID {
+	if b.streams == nil {
+		b.streams = make(map[int]media.StreamID)
+	}
+	s, ok := b.streams[node]
+	if !ok {
+		s = d.c.Nodes[node].Disk.NewStream()
+		b.streams[node] = s
+	}
+	return s
+}
+
+// AddExisting registers a pre-loaded input file of the given virtual size
+// with randomly placed replicas (no preferred node) and no payload. It
+// models datasets loaded into the cluster before the experiment.
+func (d *DFS) AddExisting(name string, size int64) *FileMeta {
+	if _, dup := d.files[name]; dup {
+		panic("dfs: duplicate file " + name)
+	}
+	f := &FileMeta{Name: name, Size: size}
+	for off := int64(0); off < size; off += d.BlockVirtual {
+		bs := d.BlockVirtual
+		if off+bs > size {
+			bs = size - off
+		}
+		f.Blocks = append(f.Blocks, &Block{Offset: off, Size: bs, Replicas: d.placeBlock(-1)})
+	}
+	d.files[name] = f
+	return f
+}
+
+// Lookup returns a file's metadata, or nil.
+func (d *DFS) Lookup(name string) *FileMeta { return d.files[name] }
+
+// Delete removes a file and frees its replicas' disk streams.
+func (d *DFS) Delete(name string) {
+	f := d.files[name]
+	if f == nil {
+		return
+	}
+	for _, b := range f.Blocks {
+		for node, s := range b.streams {
+			d.c.Nodes[node].Disk.Delete(s)
+		}
+	}
+	delete(d.files, name)
+}
+
+// Files returns the names of all files, sorted.
+func (d *DFS) Files() []string {
+	out := make([]string, 0, len(d.files))
+	for n := range d.files {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// --- Writer -------------------------------------------------------------
+
+// Writer appends to a new file from one node. Each block's first replica
+// is local; the write charges the local disk plus a pipelined transfer to
+// one downstream replica (HDFS pipelines replicas, so later hops overlap
+// the first).
+type Writer struct {
+	d    *DFS
+	f    *FileMeta
+	at   *cluster.Node
+	open bool
+}
+
+// Create starts a new file written from node at.
+func (d *DFS) Create(name string, at *cluster.Node) *Writer {
+	if _, dup := d.files[name]; dup {
+		panic("dfs: duplicate file " + name)
+	}
+	f := &FileMeta{Name: name}
+	d.files[name] = f
+	return &Writer{d: d, f: f, at: at, open: true}
+}
+
+// Write appends real payload bytes, charging replica I/O.
+func (w *Writer) Write(p *simtime.Proc, data []byte) {
+	if !w.open {
+		panic("dfs: write to closed writer")
+	}
+	v := w.d.c.Cfg.V(len(data))
+	left := v
+	for left > 0 {
+		// Extend or start the tail block.
+		var b *Block
+		if n := len(w.f.Blocks); n > 0 && w.f.Blocks[n-1].Size < w.d.BlockVirtual {
+			b = w.f.Blocks[n-1]
+		} else {
+			b = &Block{Offset: w.f.Size, Replicas: w.d.placeBlock(w.at.ID)}
+			w.f.Blocks = append(w.f.Blocks, b)
+		}
+		span := w.d.BlockVirtual - b.Size
+		if span > left {
+			span = left
+		}
+		primary := b.Replicas[0]
+		w.d.c.Nodes[primary].Disk.Write(p, w.d.blockStream(b, primary), span)
+		if len(b.Replicas) > 1 {
+			next := b.Replicas[1]
+			w.d.c.Net.Transfer(p, w.d.c.Nodes[primary].NIC, w.d.c.Nodes[next].NIC, span)
+			w.d.c.Nodes[next].Disk.Write(p, w.d.blockStream(b, next), span)
+		}
+		b.Size += span
+		w.f.Size += span
+		left -= span
+	}
+	w.f.data = append(w.f.data, data...)
+}
+
+// Close finishes the file.
+func (w *Writer) Close() { w.open = false }
+
+// --- Reader -------------------------------------------------------------
+
+// Reader streams a file (or a byte range of it) from one node, always
+// choosing a local replica when present.
+type Reader struct {
+	d      *DFS
+	f      *FileMeta
+	at     *cluster.Node
+	cursor int64 // virtual offset
+	end    int64
+}
+
+// Open starts a sequential scan of the whole file from node at.
+func (d *DFS) Open(name string, at *cluster.Node) *Reader {
+	f := d.files[name]
+	if f == nil {
+		panic("dfs: open of missing file " + name)
+	}
+	return &Reader{d: d, f: f, at: at, end: f.Size}
+}
+
+// OpenRange scans only [off, off+size) of the file (a map split).
+func (d *DFS) OpenRange(name string, at *cluster.Node, off, size int64) *Reader {
+	r := d.Open(name, at)
+	r.cursor = off
+	r.end = off + size
+	if r.end > r.f.Size {
+		r.end = r.f.Size
+	}
+	return r
+}
+
+// Remaining returns the virtual bytes left to scan.
+func (r *Reader) Remaining() int64 { return r.end - r.cursor }
+
+// ReadCharge advances the scan by up to v virtual bytes, charging replica
+// disk and any network transfer, and returns the bytes advanced (0 at
+// end). Payload-carrying files return data through ReadData instead.
+func (r *Reader) ReadCharge(p *simtime.Proc, v int64) int64 {
+	if v <= 0 || r.cursor >= r.end {
+		return 0
+	}
+	if r.cursor+v > r.end {
+		v = r.end - r.cursor
+	}
+	done := int64(0)
+	for done < v {
+		b := r.blockAt(r.cursor + done)
+		span := b.Offset + b.Size - (r.cursor + done)
+		if span > v-done {
+			span = v - done
+		}
+		rep := r.pickReplica(b)
+		r.d.c.Nodes[rep].Disk.Read(p, r.d.blockStream(b, rep), span)
+		if rep != r.at.ID {
+			r.d.c.Net.Transfer(p, r.d.c.Nodes[rep].NIC, r.at.NIC, span)
+		}
+		done += span
+	}
+	r.cursor += v
+	return v
+}
+
+// ReadData reads real payload bytes (for files written via Writer),
+// charging I/O for their virtual size.
+func (r *Reader) ReadData(p *simtime.Proc, buf []byte) int {
+	v := r.d.c.Cfg.V(len(buf))
+	got := r.ReadCharge(p, v)
+	if got == 0 {
+		return 0
+	}
+	// Map the virtual advance back to real bytes in the payload.
+	realOff := int(int64(len(r.f.data)) * (r.cursor - got) / maxI64(r.f.Size, 1))
+	realEnd := int(int64(len(r.f.data)) * r.cursor / maxI64(r.f.Size, 1))
+	if realEnd > len(r.f.data) {
+		realEnd = len(r.f.data)
+	}
+	return copy(buf, r.f.data[realOff:realEnd])
+}
+
+func maxI64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func (r *Reader) blockAt(off int64) *Block {
+	idx := sort.Search(len(r.f.Blocks), func(i int) bool {
+		b := r.f.Blocks[i]
+		return b.Offset+b.Size > off
+	})
+	if idx == len(r.f.Blocks) {
+		panic(fmt.Sprintf("dfs: offset %d beyond %s", off, r.f.Name))
+	}
+	return r.f.Blocks[idx]
+}
+
+// pickReplica prefers a local replica, then the lowest node ID for
+// determinism.
+func (r *Reader) pickReplica(b *Block) int {
+	best := b.Replicas[0]
+	for _, rep := range b.Replicas {
+		if rep == r.at.ID {
+			return rep
+		}
+		if rep < best {
+			best = rep
+		}
+	}
+	return best
+}

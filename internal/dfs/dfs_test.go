@@ -1,0 +1,238 @@
+package dfs
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"spongefiles/internal/cluster"
+	"spongefiles/internal/media"
+	"spongefiles/internal/simtime"
+	"spongefiles/internal/sponge"
+)
+
+func newCluster(workers int) (*simtime.Sim, *cluster.Cluster) {
+	cfg := cluster.PaperConfig()
+	cfg.Workers = workers
+	sim := simtime.New()
+	return sim, cluster.New(sim, cfg)
+}
+
+func TestAddExistingBlocks(t *testing.T) {
+	_, c := newCluster(5)
+	d := New(c)
+	f := d.AddExisting("/data/web", 10*media.GB)
+	wantBlocks := int(10 * media.GB / DefaultBlockVirtual)
+	if len(f.Blocks) != wantBlocks {
+		t.Fatalf("blocks = %d, want %d", len(f.Blocks), wantBlocks)
+	}
+	for _, b := range f.Blocks {
+		if len(b.Replicas) != 3 {
+			t.Fatalf("replicas = %d", len(b.Replicas))
+		}
+		seen := map[int]bool{}
+		for _, r := range b.Replicas {
+			if seen[r] {
+				t.Fatal("duplicate replica")
+			}
+			seen[r] = true
+		}
+	}
+}
+
+func TestReplicationCappedByClusterSize(t *testing.T) {
+	_, c := newCluster(2)
+	d := New(c)
+	f := d.AddExisting("/small", media.MB)
+	if len(f.Blocks[0].Replicas) != 2 {
+		t.Fatalf("replicas = %d, want 2 on a 2-node cluster", len(f.Blocks[0].Replicas))
+	}
+}
+
+func TestLocalReadCheaperThanRemote(t *testing.T) {
+	sim, c := newCluster(4)
+	d := New(c)
+	d.Replication = 1
+	f := d.AddExisting("/one", media.GB)
+	rep := f.Blocks[0].Replicas[0]
+	other := (rep + 1) % 4
+	var local, remote simtime.Duration
+	sim.Spawn("local", func(p *simtime.Proc) {
+		start := p.Now()
+		r := d.Open("/one", c.Nodes[rep])
+		for r.ReadCharge(p, 64*media.MB) > 0 {
+		}
+		local = p.Now().Sub(start)
+	})
+	sim.Spawn("remote", func(p *simtime.Proc) {
+		p.Sleep(simtime.Hour) // serialize to avoid contention effects
+		start := p.Now()
+		r := d.Open("/one", c.Nodes[other])
+		for r.ReadCharge(p, 64*media.MB) > 0 {
+		}
+		remote = p.Now().Sub(start)
+	})
+	sim.MustRun()
+	if remote <= local {
+		t.Fatalf("remote read should cost more: local=%v remote=%v", local, remote)
+	}
+}
+
+func TestWriterReadDataRoundTrip(t *testing.T) {
+	sim, c := newCluster(4)
+	d := New(c)
+	payload := make([]byte, 100_000)
+	for i := range payload {
+		payload[i] = byte(i * 7)
+	}
+	sim.Spawn("t", func(p *simtime.Proc) {
+		w := d.Create("/spill/x", c.Nodes[1])
+		w.Write(p, payload[:40_000])
+		w.Write(p, payload[40_000:])
+		w.Close()
+		r := d.Open("/spill/x", c.Nodes[1])
+		got := make([]byte, 0, len(payload))
+		buf := make([]byte, 8192)
+		for {
+			n := r.ReadData(p, buf)
+			if n == 0 {
+				break
+			}
+			got = append(got, buf[:n]...)
+		}
+		if !bytes.Equal(got, payload) {
+			t.Errorf("round trip corrupt: %d bytes vs %d", len(got), len(payload))
+		}
+	})
+	sim.MustRun()
+}
+
+func TestWriterFirstReplicaIsLocal(t *testing.T) {
+	sim, c := newCluster(5)
+	d := New(c)
+	sim.Spawn("t", func(p *simtime.Proc) {
+		w := d.Create("/spill/y", c.Nodes[3])
+		w.Write(p, make([]byte, 10_000))
+		w.Close()
+	})
+	sim.MustRun()
+	f := d.Lookup("/spill/y")
+	if f.Blocks[0].Replicas[0] != 3 {
+		t.Fatalf("first replica = %d, want writer's node 3", f.Blocks[0].Replicas[0])
+	}
+}
+
+func TestOpenRangeScansOnlySplit(t *testing.T) {
+	sim, c := newCluster(4)
+	d := New(c)
+	d.AddExisting("/big", 10*DefaultBlockVirtual)
+	sim.Spawn("t", func(p *simtime.Proc) {
+		r := d.OpenRange("/big", c.Nodes[0], DefaultBlockVirtual, DefaultBlockVirtual)
+		total := int64(0)
+		for {
+			n := r.ReadCharge(p, 32*media.MB)
+			if n == 0 {
+				break
+			}
+			total += n
+		}
+		if total != DefaultBlockVirtual {
+			t.Errorf("scanned %d, want one block", total)
+		}
+	})
+	sim.MustRun()
+}
+
+func TestDeleteFreesStreams(t *testing.T) {
+	sim, c := newCluster(3)
+	d := New(c)
+	sim.Spawn("t", func(p *simtime.Proc) {
+		w := d.Create("/tmp/z", c.Nodes[0])
+		w.Write(p, make([]byte, 50_000))
+		w.Close()
+		d.Delete("/tmp/z")
+		if d.Lookup("/tmp/z") != nil {
+			t.Error("file still present after delete")
+		}
+	})
+	sim.MustRun()
+}
+
+func TestSpillStoreRoundTrip(t *testing.T) {
+	cfg := cluster.PaperConfig()
+	cfg.Workers = 3
+	cfg.SpongeMemory = 0 // no sponge chunks: everything hits the store
+	sim := simtime.New()
+	c := cluster.New(sim, cfg)
+	d := New(c)
+	scfg := sponge.DefaultConfig()
+	scfg.LocalDiskEnabled = false // force the DFS last resort
+	scfg.Remote = NewSpillStore(d)
+	svc := sponge.Start(c, scfg)
+
+	data := make([]byte, 3*svc.ChunkReal()+17)
+	for i := range data {
+		data[i] = byte(i * 13)
+	}
+	sim.Spawn("t", func(p *simtime.Proc) {
+		agent := svc.NewAgent(c.Nodes[0])
+		defer agent.Close()
+		f := agent.Create(p, "dfsspill")
+		if err := f.Write(p, data); err != nil {
+			t.Errorf("write: %v", err)
+		}
+		if err := f.Close(p); err != nil {
+			t.Errorf("close: %v", err)
+		}
+		st := f.Stats()
+		if st.ByKind[sponge.RemoteFS] != st.Chunks {
+			t.Errorf("expected all chunks on remote FS: %+v", st)
+		}
+		got := make([]byte, 0, len(data))
+		buf := make([]byte, 4096)
+		for {
+			n, err := f.Read(p, buf)
+			if err != nil {
+				t.Errorf("read: %v", err)
+				return
+			}
+			if n == 0 {
+				break
+			}
+			got = append(got, buf[:n]...)
+		}
+		if !bytes.Equal(got, data) {
+			t.Errorf("dfs spill corrupt")
+		}
+		f.Delete(p)
+	})
+	sim.MustRun()
+	if len(d.Files()) != 0 {
+		t.Fatalf("spill files leaked: %v", d.Files())
+	}
+}
+
+// Property: for any file size, blocks tile the file exactly.
+func TestPropertyBlocksTileFile(t *testing.T) {
+	_, c := newCluster(4)
+	d := New(c)
+	i := 0
+	f := func(szRaw uint32) bool {
+		size := int64(szRaw)%(3*DefaultBlockVirtual) + 1
+		i++
+		fm := d.AddExisting(names(i), size)
+		var off int64
+		for _, b := range fm.Blocks {
+			if b.Offset != off || b.Size <= 0 || b.Size > DefaultBlockVirtual {
+				return false
+			}
+			off += b.Size
+		}
+		return off == size
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func names(i int) string { return "/prop/" + string(rune('a'+i%26)) + string(rune('0'+i/26)) }

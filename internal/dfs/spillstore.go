@@ -1,0 +1,57 @@
+package dfs
+
+import (
+	"fmt"
+
+	"spongefiles/internal/cluster"
+	"spongefiles/internal/simtime"
+	"spongefiles/internal/sponge"
+)
+
+// SpillStore adapts the DFS into the sponge package's last-resort chunk
+// store (sponge.RemoteStore).
+type SpillStore struct {
+	d   *DFS
+	seq int
+}
+
+// NewSpillStore returns a RemoteStore backed by d.
+func NewSpillStore(d *DFS) *SpillStore { return &SpillStore{d: d} }
+
+var _ sponge.RemoteStore = (*SpillStore)(nil)
+
+// CreateSpill creates a DFS-backed spill file for the task.
+func (s *SpillStore) CreateSpill(p *simtime.Proc, from *cluster.Node, owner sponge.TaskID) sponge.RemoteSpill {
+	s.seq++
+	name := fmt.Sprintf("/spill/%s-%d", owner, s.seq)
+	return &dfsSpill{
+		store: s,
+		name:  name,
+		at:    from,
+		w:     s.d.Create(name, from),
+	}
+}
+
+type dfsSpill struct {
+	store *SpillStore
+	name  string
+	at    *cluster.Node
+	w     *Writer
+	r     *Reader
+}
+
+func (sp *dfsSpill) Append(p *simtime.Proc, data []byte) { sp.w.Write(p, data) }
+
+func (sp *dfsSpill) Open() {
+	sp.w.Close()
+	sp.r = sp.store.d.Open(sp.name, sp.at)
+}
+
+func (sp *dfsSpill) Read(p *simtime.Proc, buf []byte) int {
+	if sp.r == nil {
+		sp.Open()
+	}
+	return sp.r.ReadData(p, buf)
+}
+
+func (sp *dfsSpill) Delete(p *simtime.Proc) { sp.store.d.Delete(sp.name) }

@@ -1,0 +1,63 @@
+// Package failure implements the paper's §4.3 failure analysis: task
+// failure due to machine failure modeled as a Poisson process over the
+// number of machines holding the task's data, plus helpers to inject
+// node failures into a running simulation.
+package failure
+
+import (
+	"math"
+
+	"spongefiles/internal/mapreduce"
+	"spongefiles/internal/simtime"
+	"spongefiles/internal/sponge"
+)
+
+// MonthsToDuration converts the paper's month-denominated MTTF into
+// virtual time (30-day months).
+func MonthsToDuration(months float64) simtime.Duration {
+	return simtime.Duration(months * 30 * 24 * float64(simtime.Hour))
+}
+
+// TaskFailureProbability returns P = 1 − e^(−N·t/MTTF): the probability
+// that a task running for t, with data spread over n machines each with
+// the given mean time to failure, loses at least one of them.
+func TaskFailureProbability(n int, t, mttf simtime.Duration) float64 {
+	if mttf <= 0 {
+		return 1
+	}
+	return 1 - math.Exp(-float64(n)*float64(t)/float64(mttf))
+}
+
+// PaperMTTF is the paper's observed machine MTTF: a ~1%/month failure
+// rate, i.e. 100 months.
+func PaperMTTF() simtime.Duration { return MonthsToDuration(100) }
+
+// Row is one line of the §4.3 analysis table.
+type Row struct {
+	Machines    int
+	Probability float64
+}
+
+// Table sweeps the failure probability over machine counts for a task of
+// duration t (the paper's longest task ran ~120 minutes).
+func Table(t, mttf simtime.Duration, machineCounts []int) []Row {
+	out := make([]Row, 0, len(machineCounts))
+	for _, n := range machineCounts {
+		out = append(out, Row{Machines: n, Probability: TaskFailureProbability(n, t, mttf)})
+	}
+	return out
+}
+
+// InjectNodeFailure schedules a whole-machine failure after delay: the
+// node's sponge memory loses every chunk (readers get ErrChunkLost and
+// the framework restarts them), the tracker fails over if it lived
+// there, and — when an engine is given — the scheduler stops placing
+// tasks on the node. A nil engine injects a sponge-only failure.
+func InjectNodeFailure(svc *sponge.Service, eng *mapreduce.Engine, node int, delay simtime.Duration) {
+	svc.Cluster.Sim.After(delay, func() {
+		svc.FailNode(node)
+		if eng != nil {
+			eng.MarkNodeDead(node)
+		}
+	})
+}

@@ -1,0 +1,69 @@
+package failure
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"spongefiles/internal/simtime"
+)
+
+func TestPaperNumbers(t *testing.T) {
+	// The paper: MTTF 100 months, longest task ~120 minutes; even when
+	// spilled to many nodes the probability "remains very low".
+	mttf := PaperMTTF()
+	task := 120 * simtime.Minute
+	p1 := TaskFailureProbability(1, task, mttf)
+	p40 := TaskFailureProbability(40, task, mttf)
+	if p1 > 1e-4 {
+		t.Fatalf("P(1 machine) = %g, should be tiny", p1)
+	}
+	if p40 > 2e-3 {
+		t.Fatalf("P(40 machines) = %g, should remain very low", p40)
+	}
+	if p40 <= p1 {
+		t.Fatal("more machines must mean more risk")
+	}
+}
+
+func TestProbabilityFormula(t *testing.T) {
+	// N·t = MTTF → P = 1 − 1/e.
+	mttf := MonthsToDuration(1)
+	p := TaskFailureProbability(1, mttf, mttf)
+	if math.Abs(p-(1-1/math.E)) > 1e-12 {
+		t.Fatalf("P = %f, want 1-1/e", p)
+	}
+	if TaskFailureProbability(5, 0, mttf) != 0 {
+		t.Fatal("zero-duration task cannot fail")
+	}
+	if TaskFailureProbability(1, mttf, 0) != 1 {
+		t.Fatal("zero MTTF must fail certainly")
+	}
+}
+
+func TestPropertyMonotonicity(t *testing.T) {
+	mttf := PaperMTTF()
+	f := func(nRaw uint8, mRaw uint8, dRaw uint32) bool {
+		n := int(nRaw%64) + 1
+		m := n + int(mRaw%64) + 1
+		d := simtime.Duration(dRaw) * simtime.Second
+		pn := TaskFailureProbability(n, d, mttf)
+		pm := TaskFailureProbability(m, d, mttf)
+		return pn >= 0 && pm <= 1 && pm >= pn
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTableShape(t *testing.T) {
+	rows := Table(120*simtime.Minute, PaperMTTF(), []int{1, 2, 5, 10, 20, 40})
+	if len(rows) != 6 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for i := 1; i < len(rows); i++ {
+		if rows[i].Probability < rows[i-1].Probability {
+			t.Fatal("table not monotone in machines")
+		}
+	}
+}

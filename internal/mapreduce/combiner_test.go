@@ -1,0 +1,138 @@
+package mapreduce
+
+import (
+	"encoding/binary"
+	"fmt"
+	"testing"
+
+	"spongefiles/internal/simtime"
+)
+
+// sumCombine folds counts for equal keys into a single record.
+func sumCombine(ctx *TaskContext, key []byte, vals *ValueIter, emit Emit) {
+	var total uint32
+	for {
+		v, ok := vals.Next()
+		if !ok {
+			break
+		}
+		total += binary.LittleEndian.Uint32(v)
+	}
+	var out [4]byte
+	binary.LittleEndian.PutUint32(out[:], total)
+	emit(key, out[:])
+}
+
+func runCountJob(t *testing.T, combine bool) (map[string]uint32, *JobResult) {
+	t.Helper()
+	r := newRig(3, nil)
+	const records = 4000
+	size := r.c.Cfg.V(records * 16)
+	r.fs.AddExisting("/in/count", size)
+	blocks := len(r.fs.Lookup("/in/count").Blocks)
+	one := make([]byte, 4)
+	binary.LittleEndian.PutUint32(one, 1)
+	conf := JobConf{
+		Name: "count",
+		Input: Input{
+			File: "/in/count",
+			MakeRecords: func(split int) RecordGen {
+				return func(emit Emit) {
+					per := records / blocks
+					lo, hi := split*per, (split+1)*per
+					if split == blocks-1 {
+						hi = records
+					}
+					for i := lo; i < hi; i++ {
+						emit(nil, []byte(fmt.Sprintf("key-%d-padding", i%5)))
+					}
+				}
+			},
+		},
+		Map: func(ctx *TaskContext, k, v []byte, emit Emit) {
+			ctx.Count("mapped.records", 1)
+			emit(v[:6], one)
+		},
+		NumReducers: 2,
+		Reduce: func(ctx *TaskContext, key []byte, vals *ValueIter, emit Emit) {
+			var total uint32
+			for {
+				v, ok := vals.Next()
+				if !ok {
+					break
+				}
+				total += binary.LittleEndian.Uint32(v)
+			}
+			var out [4]byte
+			binary.LittleEndian.PutUint32(out[:], total)
+			emit(key, out[:])
+		},
+	}
+	if combine {
+		conf.Combine = sumCombine
+	}
+	counts := map[string]uint32{}
+	inner := conf.Reduce
+	conf.Reduce = func(ctx *TaskContext, key []byte, vals *ValueIter, emit Emit) {
+		inner(ctx, key, vals, func(k, v []byte) {
+			counts[string(k)] = binary.LittleEndian.Uint32(v)
+			emit(k, v)
+		})
+	}
+	var res *JobResult
+	r.sim.Spawn("driver", func(p *simtime.Proc) {
+		res = r.eng.Submit(conf).Wait(p)
+	})
+	r.sim.MustRun()
+	if res.Failed {
+		t.Fatal("count job failed")
+	}
+	return counts, res
+}
+
+func TestCombinerPreservesAnswer(t *testing.T) {
+	plain, _ := runCountJob(t, false)
+	combined, _ := runCountJob(t, true)
+	if len(plain) != 5 || len(combined) != 5 {
+		t.Fatalf("keys: plain=%d combined=%d", len(plain), len(combined))
+	}
+	var total uint32
+	for k, v := range plain {
+		if combined[k] != v {
+			t.Fatalf("combiner changed count for %s: %d vs %d", k, combined[k], v)
+		}
+		total += v
+	}
+	if total != 4000 {
+		t.Fatalf("total = %d", total)
+	}
+}
+
+func TestCombinerCutsShuffleVolume(t *testing.T) {
+	_, plain := runCountJob(t, false)
+	_, combined := runCountJob(t, true)
+	pc, cc := plain.Counters(), combined.Counters()
+	if cc["reduce.input.records"] >= pc["reduce.input.records"] {
+		t.Fatalf("combiner should shrink reduce input: %d vs %d",
+			cc["reduce.input.records"], pc["reduce.input.records"])
+	}
+	// Each map emits at most 5 distinct keys after combining.
+	if cc["reduce.input.records"] > 5*pc["map.tasks"] {
+		t.Fatalf("combined reduce input = %d records for %d maps",
+			cc["reduce.input.records"], pc["map.tasks"])
+	}
+}
+
+func TestJobCountersAggregate(t *testing.T) {
+	_, res := runCountJob(t, false)
+	c := res.Counters()
+	if c["mapped.records"] != 4000 {
+		t.Fatalf("user counter = %d", c["mapped.records"])
+	}
+	if c["map.input.records"] != 4000 {
+		t.Fatalf("framework counter = %d", c["map.input.records"])
+	}
+	if c["reduce.tasks"] != 2 {
+		t.Fatalf("reduce tasks = %d", c["reduce.tasks"])
+	}
+}

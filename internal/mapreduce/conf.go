@@ -1,0 +1,181 @@
+package mapreduce
+
+import (
+	"hash/fnv"
+
+	"spongefiles/internal/cluster"
+	"spongefiles/internal/media"
+	"spongefiles/internal/simtime"
+	"spongefiles/internal/spill"
+)
+
+// RecordGen produces one split's records by calling emit for each.
+// Generators must be deterministic per split, and the records' virtual
+// sizes should sum to roughly the split size (the reader charges I/O by
+// record bytes and tops up to the full split at the end).
+type RecordGen func(emit Emit)
+
+// Input describes a job's input: a DFS file (whose blocks become map
+// splits) and an optional record generator per split index. A nil
+// MakeRecords means the split is scanned for I/O and CPU cost only — the
+// background grep job uses this, since its 1 TB input exists to generate
+// disk load, not data.
+type Input struct {
+	File        string
+	MakeRecords func(split int) RecordGen
+}
+
+// CPUModel carries the engine's compute-cost constants. Rates are in
+// virtual bytes per second; fixed costs are per record or comparison.
+type CPUModel struct {
+	// MapRate and ReduceRate convert processed virtual bytes to time in
+	// the user map/reduce functions.
+	MapRate    int64
+	ReduceRate int64
+	// PerRecord is the framework's fixed per-record overhead.
+	PerRecord simtime.Duration
+	// Compare is one key comparison during sort or merge.
+	Compare simtime.Duration
+}
+
+// DefaultCPU calibrates compute roughly to the paper's testbed (2.5 GHz
+// Xeon running Java): the background grep's 128 MB map tasks take ~15 s,
+// which puts the effective map scan rate near 8-10 MB/s.
+func DefaultCPU() CPUModel {
+	return CPUModel{
+		MapRate:    9 * media.MB,
+		ReduceRate: 40 * media.MB,
+		PerRecord:  1 * simtime.Microsecond,
+		Compare:    250 * simtime.Nanosecond,
+	}
+}
+
+// JobConf describes one job.
+type JobConf struct {
+	Name  string
+	Input Input
+	Map   MapFunc
+	// Combine, when set, runs over each map-side sorted segment before
+	// it is spilled or shipped (Hadoop's combiner): it sees each key's
+	// values grouped and emits a reduced record stream, cutting shuffle
+	// and spill volume for algebraic aggregations.
+	Combine     ReduceFunc
+	Reduce      ReduceFunc // nil = map-only job
+	NumReducers int
+
+	// Partition routes a key to a reducer; nil = FNV hash.
+	Partition func(key []byte, n int) int
+
+	// SortBufferVirtual is the map-side sort buffer (io.sort.mb; the
+	// paper's default is 128 MB). MergeFactor is io.sort.factor (10):
+	// when more than this many on-disk runs exist, reduce-side merging
+	// happens in multiple rounds — unless the spill target is remote
+	// memory, where merging needs no seek avoidance and runs in a
+	// single round regardless (§4.2.3, Figure 6 discussion).
+	SortBufferVirtual int64
+	MergeFactor       int
+	// MergeMemFraction is the reduce heap fraction holding shuffled
+	// segments (0.7 by default); RetainFraction is how much merged
+	// input may stay in memory for the reduce function (0 by default:
+	// everything is spilled again after the merge, §2.1.2).
+	MergeMemFraction float64
+	RetainFraction   float64
+
+	CPU CPUModel
+
+	// SpillFactory builds the reduce-side (and Pig) spill target per
+	// task; map-side spills always use the local disk, as in the
+	// paper's integration.
+	SpillFactory spill.Factory
+
+	// MaxAttempts bounds task retries after failures.
+	MaxAttempts int
+}
+
+// Defaults fills unset fields with the paper's Hadoop configuration.
+func (c *JobConf) Defaults() {
+	if c.NumReducers <= 0 {
+		c.NumReducers = 1
+	}
+	if c.Partition == nil {
+		c.Partition = HashPartition
+	}
+	if c.SortBufferVirtual <= 0 {
+		c.SortBufferVirtual = 128 * media.MB
+	}
+	if c.MergeFactor <= 0 {
+		c.MergeFactor = 10
+	}
+	if c.MergeMemFraction <= 0 {
+		c.MergeMemFraction = 0.7
+	}
+	if c.CPU == (CPUModel{}) {
+		c.CPU = DefaultCPU()
+	}
+	if c.MaxAttempts <= 0 {
+		c.MaxAttempts = 4
+	}
+	if c.SpillFactory == nil {
+		c.SpillFactory = spill.DiskFactory()
+	}
+}
+
+// HashPartition is the default FNV-based partitioner.
+func HashPartition(key []byte, n int) int {
+	h := fnv.New32a()
+	h.Write(key)
+	return int(h.Sum32() % uint32(n))
+}
+
+// TaskContext is handed to map and reduce functions. It batches CPU
+// charges so per-record costs do not flood the event queue.
+type TaskContext struct {
+	P     *simtime.Proc
+	Node  *cluster.Node
+	Conf  *JobConf
+	Spill spill.Target
+
+	cpuDebt simtime.Duration
+	run     *TaskRun
+}
+
+// Count bumps a named job counter (Hadoop's user counters); counters
+// from every successful attempt are aggregated into the JobResult.
+func (c *TaskContext) Count(name string, delta int64) {
+	if c.run.Counters == nil {
+		c.run.Counters = make(map[string]int64)
+	}
+	c.run.Counters[name] += delta
+}
+
+// cpuFlushAt bounds how much CPU debt accumulates before sleeping.
+const cpuFlushAt = simtime.Millisecond
+
+// ChargeCPU accrues compute time, sleeping once enough has accumulated.
+func (c *TaskContext) ChargeCPU(d simtime.Duration) {
+	c.cpuDebt += d
+	if c.cpuDebt >= cpuFlushAt {
+		c.P.Sleep(c.cpuDebt)
+		c.cpuDebt = 0
+	}
+}
+
+// FlushCPU settles any outstanding CPU debt.
+func (c *TaskContext) FlushCPU() {
+	if c.cpuDebt > 0 {
+		c.P.Sleep(c.cpuDebt)
+		c.cpuDebt = 0
+	}
+}
+
+// chargeBytes charges rate-based compute for n real bytes.
+func (c *TaskContext) chargeBytes(n int, rate int64) {
+	if rate <= 0 {
+		return
+	}
+	v := c.Node.Scale() * int64(n)
+	c.ChargeCPU(simtime.Duration(float64(v) / float64(rate) * float64(simtime.Second)))
+}
+
+// Run exposes the task's accounting record (input bytes, spills, times).
+func (c *TaskContext) Run() *TaskRun { return c.run }

@@ -1,0 +1,116 @@
+package mapreduce
+
+import (
+	"testing"
+
+	"spongefiles/internal/simtime"
+	"spongefiles/internal/spill"
+)
+
+// TestEngineFullyDeterministic runs the same job twice on fresh
+// simulations and requires identical virtual timings for every task —
+// the property that makes every experiment in this repository exactly
+// reproducible.
+func TestEngineFullyDeterministic(t *testing.T) {
+	run := func() []simtime.Time {
+		r := newRig(5, nil)
+		in := r.numbersInput("/in/det", 30_000)
+		conf := JobConf{
+			Name:        "det",
+			Input:       in,
+			Map:         identityMap,
+			NumReducers: 2,
+			Reduce: func(ctx *TaskContext, key []byte, vals *ValueIter, emit Emit) {
+				for {
+					if _, ok := vals.Next(); !ok {
+						break
+					}
+				}
+			},
+			SpillFactory: spill.SpongeFactory(r.svc),
+		}
+		var res *JobResult
+		r.sim.Spawn("driver", func(p *simtime.Proc) {
+			res = r.eng.Submit(conf).Wait(p)
+		})
+		r.sim.MustRun()
+		var times []simtime.Time
+		for _, tr := range res.Tasks {
+			times = append(times, tr.Start, tr.End)
+		}
+		times = append(times, res.End)
+		return times
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("different task counts: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("timing %d differs: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+// TestCancelBeforeStartYieldsNoTasks cancels a job immediately: nothing
+// should run and the handle must still complete (as Failed).
+func TestCancelBeforeStartYieldsNoTasks(t *testing.T) {
+	r := newRig(3, nil)
+	r.fs.AddExisting("/in/cancel", 4*128<<20)
+	conf := JobConf{
+		Name:  "cancel",
+		Input: Input{File: "/in/cancel"},
+		Map:   func(ctx *TaskContext, k, v []byte, emit Emit) {},
+	}
+	var res *JobResult
+	r.sim.Spawn("driver", func(p *simtime.Proc) {
+		// Occupy every map slot with a long job first so nothing from
+		// the victim job is dispatched before the cancel.
+		r.fs.AddExisting("/in/block", 100*128<<20)
+		blocker := r.eng.Submit(JobConf{
+			Name:  "blocker",
+			Input: Input{File: "/in/block"},
+			Map:   func(ctx *TaskContext, k, v []byte, emit Emit) {},
+		})
+		victim := r.eng.Submit(conf)
+		victim.Cancel()
+		res = victim.Wait(p)
+		blocker.Cancel()
+		blocker.Wait(p)
+	})
+	r.sim.MustRun()
+	if !res.Failed {
+		t.Fatal("cancelled-before-start job should report Failed")
+	}
+	for _, tr := range res.Tasks {
+		if tr.Err == nil {
+			t.Fatal("no task of the cancelled job should have completed")
+		}
+	}
+}
+
+// TestMapOnlyJobCompletesWithoutReducers double-checks the map-only
+// completion path sets End exactly when the last map finishes.
+func TestMapOnlyCompletionTime(t *testing.T) {
+	r := newRig(2, nil)
+	r.fs.AddExisting("/in/mo", 2*128<<20)
+	conf := JobConf{
+		Name:  "mo",
+		Input: Input{File: "/in/mo"},
+		Map:   func(ctx *TaskContext, k, v []byte, emit Emit) {},
+	}
+	var res *JobResult
+	r.sim.Spawn("driver", func(p *simtime.Proc) {
+		res = r.eng.Submit(conf).Wait(p)
+	})
+	r.sim.MustRun()
+	var lastEnd simtime.Time
+	for _, tr := range res.Tasks {
+		if tr.End > lastEnd {
+			lastEnd = tr.End
+		}
+	}
+	if res.End != lastEnd {
+		t.Fatalf("job end %v != last task end %v", res.End, lastEnd)
+	}
+}

@@ -1,0 +1,264 @@
+package mapreduce
+
+import (
+	"bytes"
+	"fmt"
+	"math/bits"
+	"sort"
+
+	"spongefiles/internal/media"
+	"spongefiles/internal/simtime"
+	"spongefiles/internal/spill"
+)
+
+// sortBuffer is the map-side in-memory sort buffer (io.sort.mb): emitted
+// records are serialized into one slab and sorted by (partition, key)
+// through an offset index, exactly as Hadoop's MapOutputBuffer does.
+type sortBuffer struct {
+	data  []byte
+	index []bufRec
+	parts int
+}
+
+type bufRec struct {
+	part     int32
+	off      int32
+	klen     int32
+	totallen int32
+}
+
+func newSortBuffer(capReal int, parts int) *sortBuffer {
+	return &sortBuffer{data: make([]byte, 0, capReal), parts: parts}
+}
+
+// add appends a record, reporting false when the buffer is full (the
+// caller must spill first).
+func (b *sortBuffer) add(part int, k, v []byte) bool {
+	if len(b.data)+recSize(k, v) > cap(b.data) {
+		return false
+	}
+	off := len(b.data)
+	b.data = appendRecord(b.data, k, v)
+	b.index = append(b.index, bufRec{
+		part: int32(part), off: int32(off),
+		klen: int32(len(k)), totallen: int32(recSize(k, v)),
+	})
+	return true
+}
+
+func (b *sortBuffer) empty() bool { return len(b.index) == 0 }
+func (b *sortBuffer) bytes() int  { return len(b.data) }
+
+func (b *sortBuffer) keyOf(r bufRec) []byte {
+	return b.data[r.off+recHeader : r.off+recHeader+r.klen]
+}
+
+// sortAndSlice sorts by (partition, key) and returns the serialized
+// per-partition segments; the buffer is then reset. The returned sort
+// comparison count lets the caller charge CPU.
+func (b *sortBuffer) sortAndSlice() (segs [][]byte, comparisons int) {
+	n := len(b.index)
+	if n == 0 {
+		return make([][]byte, b.parts), 0
+	}
+	sort.Slice(b.index, func(i, j int) bool {
+		a, c := b.index[i], b.index[j]
+		if a.part != c.part {
+			return a.part < c.part
+		}
+		return bytes.Compare(b.keyOf(a), b.keyOf(c)) < 0
+	})
+	segs = make([][]byte, b.parts)
+	for _, r := range b.index {
+		segs[r.part] = append(segs[r.part], b.data[r.off:r.off+r.totallen]...)
+	}
+	comparisons = n * bits.Len(uint(n))
+	b.data = b.data[:0]
+	b.index = b.index[:0]
+	return segs, comparisons
+}
+
+// mapSpill is one map-side spill: per-partition sorted segment files.
+// Each partition gets its own sequential file (a simplification of
+// Hadoop's single indexed spill file that preserves the I/O pattern).
+type mapSpill struct {
+	files []spill.File // indexed by partition; nil if empty
+}
+
+// runMapTask executes one map attempt and returns the per-partition
+// serialized, sorted output.
+func runMapTask(ctx *TaskContext, eng *Engine, job *runningJob, split int) (out [][]byte, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("map task panic: %v", r)
+		}
+	}()
+	conf := &job.conf
+	p := ctx.P
+	meta := eng.FS.Lookup(conf.Input.File)
+	block := meta.Blocks[split]
+	reader := eng.FS.OpenRange(conf.Input.File, ctx.Node, block.Offset, block.Size)
+	ctx.run.InputVirtual = block.Size
+
+	// Charge-only scan (e.g. the background grep): stream the split and
+	// pay map CPU, no output.
+	if conf.Input.MakeRecords == nil {
+		for {
+			n := reader.ReadCharge(p, 8*media.MB)
+			if n == 0 {
+				break
+			}
+			ctx.ChargeCPU(simtime.Duration(float64(n) / float64(conf.CPU.MapRate) * float64(simtime.Second)))
+		}
+		ctx.FlushCPU()
+		return nil, nil
+	}
+
+	buf := newSortBuffer(ctx.Node.RealOf(conf.SortBufferVirtual), conf.NumReducers)
+	mapDisk := spill.NewDiskTarget(ctx.Node) // map side always spills locally
+	var spills []*mapSpill
+
+	spillBuffer := func() error {
+		segs, cmps := buf.sortAndSlice()
+		ctx.ChargeCPU(simtime.Duration(cmps) * conf.CPU.Compare)
+		combineSegs(ctx, conf, segs)
+		sp := &mapSpill{files: make([]spill.File, len(segs))}
+		for part, seg := range segs {
+			if len(seg) == 0 {
+				continue
+			}
+			f := mapDisk.Create(p, fmt.Sprintf("%s-m%d-s%d-p%d", conf.Name, split, len(spills), part))
+			if err := f.Write(p, seg); err != nil {
+				return err
+			}
+			if err := f.Close(p); err != nil {
+				return err
+			}
+			sp.files[part] = f
+		}
+		spills = append(spills, sp)
+		ctx.run.SpillEvents++
+		return nil
+	}
+
+	emit := func(k, v []byte) {
+		part := conf.Partition(k, conf.NumReducers)
+		if buf.add(part, k, v) {
+			return
+		}
+		if err := spillBuffer(); err != nil {
+			panic(err)
+		}
+		if !buf.add(part, k, v) {
+			panic("mapreduce: record larger than sort buffer")
+		}
+	}
+
+	// Drive the generator, charging input I/O in batches by the virtual
+	// size of records consumed.
+	var ioDebt int64
+	gen := conf.Input.MakeRecords(split)
+	gen(func(k, v []byte) {
+		ioDebt += ctx.Node.VirtualOf(recSize(k, v))
+		if ioDebt >= 8*media.MB {
+			reader.ReadCharge(p, ioDebt)
+			ioDebt = 0
+		}
+		ctx.ChargeCPU(conf.CPU.PerRecord)
+		ctx.chargeBytes(recSize(k, v), conf.CPU.MapRate)
+		ctx.run.InputRecords++
+		conf.Map(ctx, k, v, emit)
+	})
+	// Top up to the full split cost.
+	reader.ReadCharge(p, ioDebt)
+	for reader.Remaining() > 0 {
+		reader.ReadCharge(p, 8*media.MB)
+	}
+
+	// Produce the final per-partition output. With no prior spill the
+	// buffer's segments are the output; otherwise merge spills + buffer.
+	if len(spills) == 0 {
+		segs, cmps := buf.sortAndSlice()
+		ctx.ChargeCPU(simtime.Duration(cmps) * conf.CPU.Compare)
+		combineSegs(ctx, conf, segs)
+		ctx.FlushCPU()
+		writeMapOutput(ctx, job, split, segs)
+		return segs, nil
+	}
+	if !buf.empty() {
+		if err := spillBuffer(); err != nil {
+			return nil, err
+		}
+	}
+	out = make([][]byte, conf.NumReducers)
+	for part := 0; part < conf.NumReducers; part++ {
+		var streams []recordStream
+		for _, sp := range spills {
+			if f := sp.files[part]; f != nil {
+				streams = append(streams, newFileStream(f))
+			}
+		}
+		if len(streams) == 0 {
+			continue
+		}
+		m := newMergeStream(streams)
+		width := m.Width()
+		var seg []byte
+		for m.next(p) {
+			seg = appendRecord(seg, m.key(), m.value())
+			ctx.ChargeCPU(simtime.Duration(bits.Len(uint(width))) * conf.CPU.Compare)
+		}
+		out[part] = seg
+	}
+	ctx.FlushCPU()
+	for _, sp := range spills {
+		for _, f := range sp.files {
+			if f != nil {
+				f.Delete(p)
+			}
+		}
+	}
+	writeMapOutput(ctx, job, split, out)
+	return out, nil
+}
+
+// combineSegs runs the job's combiner over each sorted segment in place.
+func combineSegs(ctx *TaskContext, conf *JobConf, segs [][]byte) {
+	if conf.Combine == nil {
+		return
+	}
+	for part, seg := range segs {
+		if len(seg) == 0 {
+			continue
+		}
+		var out []byte
+		emit := func(k, v []byte) { out = appendRecord(out, k, v) }
+		g := newGrouper(ctx.P, newMemStream(seg), func(k, v []byte) {
+			ctx.ChargeCPU(conf.CPU.PerRecord)
+		})
+		vi := &ValueIter{g: g}
+		for {
+			key, ok := g.nextKey()
+			if !ok {
+				break
+			}
+			conf.Combine(ctx, key, vi, emit)
+		}
+		segs[part] = out
+	}
+}
+
+// writeMapOutput charges writing the final map output file to the
+// mapper's local disk and registers its stream for shuffle-time reads.
+func writeMapOutput(ctx *TaskContext, job *runningJob, split int, segs [][]byte) {
+	total := 0
+	for _, s := range segs {
+		total += len(s)
+	}
+	stream := ctx.Node.Disk.NewStream()
+	if total > 0 {
+		ctx.Node.WriteFile(ctx.P, stream, total)
+	}
+	job.mapOut[split] = &mapOutput{node: ctx.Node, stream: stream, parts: segs}
+	ctx.run.OutputReal = int64(total)
+}

@@ -1,0 +1,213 @@
+package mapreduce
+
+import (
+	"fmt"
+	"math/bits"
+	"sort"
+
+	"spongefiles/internal/simtime"
+	"spongefiles/internal/spill"
+)
+
+// runReduceTask executes one reduce attempt: shuffle the partition from
+// every map output, merge (spilling through the task's spill target),
+// and stream the grouped records into the reduce function (§2.1.2).
+func runReduceTask(ctx *TaskContext, eng *Engine, job *runningJob, part int) (err error) {
+	// Output is written under an attempt-scoped name and only survives a
+	// successful attempt (Hadoop's output-committer protocol): a failed
+	// attempt's partial file must not collide with its retry.
+	outName := fmt.Sprintf("/out/%s/part-%05d.a%d", job.conf.Name, part, ctx.run.Attempt)
+	defer func() {
+		if r := recover(); r != nil {
+			if e, ok := r.(error); ok {
+				err = fmt.Errorf("reduce task: %w", e)
+			} else {
+				err = fmt.Errorf("reduce task panic: %v", r)
+			}
+		}
+		if err != nil {
+			eng.FS.Delete(outName)
+		}
+	}()
+	conf := &job.conf
+	p := ctx.P
+
+	mergeMemReal := ctx.Node.RealOf(int64(float64(eng.C.Cfg.TaskHeap) * conf.MergeMemFraction))
+
+	var (
+		inMem    [][]byte // shuffled segments currently in memory
+		memUsed  int
+		runs     []spill.File // spilled sorted runs
+		runCount int
+	)
+
+	// spillInMem merges the in-memory segments into one sorted run and
+	// writes it through the spill target (the InMemoryMerger; with
+	// RetainFraction 0 everything shuffled passes through here, per the
+	// paper's description of the default configuration).
+	spillInMem := func() error {
+		if len(inMem) == 0 {
+			return nil
+		}
+		streams := make([]recordStream, len(inMem))
+		for i, seg := range inMem {
+			streams[i] = newMemStream(seg)
+		}
+		f := ctx.Spill.Create(p, fmt.Sprintf("%s-r%d-run%d", conf.Name, part, runCount))
+		runCount++
+		if err := writeMerged(ctx, f, streams); err != nil {
+			return err
+		}
+		runs = append(runs, f)
+		inMem = nil
+		memUsed = 0
+		ctx.run.SpillEvents++
+		return nil
+	}
+
+	// Shuffle: fetch this partition's segment from every map output.
+	for m := 0; m < len(job.mapOut); m++ {
+		mo := job.mapOut[m]
+		seg := mo.parts[part]
+		if len(seg) == 0 {
+			continue
+		}
+		// The mapper's disk serves the segment, then it crosses the
+		// network (free when the map ran on this very node).
+		mo.node.ReadFile(p, mo.stream, len(seg))
+		eng.C.Transfer(p, mo.node, ctx.Node, len(seg))
+		ctx.run.InputVirtual += ctx.Node.VirtualOf(len(seg))
+		ctx.run.InputRecords += countRecords(seg)
+		inMem = append(inMem, seg)
+		memUsed += len(seg)
+		if memUsed > mergeMemReal {
+			if err := spillInMem(); err != nil {
+				return err
+			}
+		}
+	}
+
+	var finalStreams []recordStream
+	if conf.RetainFraction <= 0 {
+		// Default Hadoop: merged inputs are spilled again before the
+		// reduce consumes them.
+		if err := spillInMem(); err != nil {
+			return err
+		}
+	} else {
+		for _, seg := range inMem {
+			finalStreams = append(finalStreams, newMemStream(seg))
+		}
+	}
+
+	// Multi-round merging: with more on-disk runs than MergeFactor, the
+	// disk path merges rounds of runs into bigger runs to bound the
+	// number of concurrently-read files (seek avoidance). Remote-memory
+	// spills have no seeks to avoid, so the sponge path merges all runs
+	// in a single round — this asymmetry is why the paper's median job
+	// spills 16.1 GB via disk but only 10.3 GB via SpongeFiles (§4.2.3).
+	singleRound := ctx.Spill.Stats().RemoteMode
+	for !singleRound && len(runs) > conf.MergeFactor {
+		// Merge the MergeFactor smallest runs (Hadoop's policy).
+		sort.Slice(runs, func(i, j int) bool { return runs[i].Size() < runs[j].Size() })
+		batch := runs[:conf.MergeFactor]
+		streams := make([]recordStream, len(batch))
+		for i, f := range batch {
+			streams[i] = newFileStream(f)
+		}
+		merged := ctx.Spill.Create(p, fmt.Sprintf("%s-r%d-run%d", conf.Name, part, runCount))
+		runCount++
+		if err := writeMerged(ctx, merged, streams); err != nil {
+			return err
+		}
+		for _, f := range batch {
+			f.Delete(p)
+		}
+		runs = append(runs[conf.MergeFactor:], merged)
+		ctx.run.MergeRounds++
+	}
+
+	for _, f := range runs {
+		finalStreams = append(finalStreams, newFileStream(f))
+	}
+
+	// Final merge streams straight into the user's reduce function.
+	merge := newMergeStream(finalStreams)
+	width := merge.Width()
+	if width == 0 {
+		width = 1
+	}
+	out := eng.FS.Create(outName, ctx.Node)
+	var outBuf []byte
+	emit := func(k, v []byte) {
+		outBuf = appendRecord(outBuf, k, v)
+		if len(outBuf) >= streamBufReal {
+			ctx.FlushCPU()
+			out.Write(p, outBuf)
+			outBuf = outBuf[:0]
+		}
+	}
+	g := newGrouper(p, merge, func(k, v []byte) {
+		ctx.ChargeCPU(conf.CPU.PerRecord + simtime.Duration(bits.Len(uint(width)))*conf.CPU.Compare)
+		ctx.chargeBytes(recSize(k, v), conf.CPU.ReduceRate)
+	})
+	vi := &ValueIter{g: g}
+	for {
+		key, ok := g.nextKey()
+		if !ok {
+			break
+		}
+		conf.Reduce(ctx, key, vi, emit)
+	}
+	ctx.FlushCPU()
+	if len(outBuf) > 0 {
+		out.Write(p, outBuf)
+	}
+	out.Close()
+
+	for _, f := range runs {
+		f.Delete(p)
+	}
+	return nil
+}
+
+// writeMerged streams a merge of the given sorted streams into f,
+// charging merge CPU, and closes it.
+func writeMerged(ctx *TaskContext, f spill.File, streams []recordStream) error {
+	p := ctx.P
+	m := newMergeStream(streams)
+	width := m.Width()
+	if width == 0 {
+		width = 1
+	}
+	cmp := simtime.Duration(bits.Len(uint(width))) * ctx.Conf.CPU.Compare
+	var buf []byte
+	for m.next(p) {
+		buf = appendRecord(buf, m.key(), m.value())
+		ctx.ChargeCPU(cmp)
+		if len(buf) >= streamBufReal {
+			ctx.FlushCPU()
+			if err := f.Write(p, buf); err != nil {
+				return err
+			}
+			buf = buf[:0]
+		}
+	}
+	ctx.FlushCPU()
+	if len(buf) > 0 {
+		if err := f.Write(p, buf); err != nil {
+			return err
+		}
+	}
+	return f.Close(p)
+}
+
+func countRecords(seg []byte) int64 {
+	n := int64(0)
+	for off := 0; off < len(seg); {
+		_, _, next := decodeRecord(seg, off)
+		off = next
+		n++
+	}
+	return n
+}

@@ -1,0 +1,105 @@
+package pig
+
+import (
+	"spongefiles/internal/mapreduce"
+	"spongefiles/internal/simtime"
+	"spongefiles/internal/spill"
+)
+
+// UDFContext gives a user-defined function access to the bag machinery.
+type UDFContext struct {
+	P    *simtime.Proc
+	Task *mapreduce.TaskContext
+	MM   *MemoryManager
+}
+
+// UDF is a holistic group function: it receives one group's bag and
+// emits output tuples.
+type UDF func(ctx *UDFContext, group string, bag *Bag, emit func(Tuple))
+
+// GroupQuery is the dataflow shape of the paper's two Pig queries:
+// LOAD → (optional FOREACH projection) → GROUP BY key → UDF per group.
+// It compiles to one MapReduce job whose reduce phase builds a
+// (spillable) bag per group and applies the UDF — the holistic UDFs
+// that skew-avoidance cannot help with (§2.2).
+type GroupQuery struct {
+	Name string
+	// Input provides the tuple stream: a DFS file plus a per-split
+	// generator yielding serialized tuples as record values.
+	Input mapreduce.Input
+	// Filter drops tuples map-side before any projection; nil keeps
+	// everything.
+	Filter func(Tuple) bool
+	// Project trims each tuple map-side; nil models the naive
+	// no-projection plan of the spam-quantiles query.
+	Project func(Tuple) Tuple
+	// GroupKey extracts the grouping key.
+	GroupKey func(Tuple) string
+	// UDF runs per group in the reduce.
+	UDF UDF
+	// SortKey, when set, makes each group's bag an ordered bag.
+	SortKey func(Tuple) Value
+
+	// BagMemFraction is the fraction of the task heap available to
+	// bags before the memory manager spills (Pig's collection
+	// threshold); default 0.25.
+	BagMemFraction float64
+	// ChunkVirtual is the bag spill chunk size C; default 10 MB.
+	ChunkVirtual int64
+}
+
+// Compile lowers the query to a MapReduce JobConf. The caller supplies
+// the spill factory (disk versus SpongeFiles) and cluster heap size.
+func (q *GroupQuery) Compile(heapVirtual int64, factory spill.Factory) mapreduce.JobConf {
+	bagFrac := q.BagMemFraction
+	if bagFrac <= 0 {
+		bagFrac = 0.25
+	}
+	chunkV := q.ChunkVirtual
+	if chunkV <= 0 {
+		chunkV = DefaultChunkVirtual
+	}
+	conf := mapreduce.JobConf{
+		Name:         q.Name,
+		Input:        q.Input,
+		NumReducers:  1, // both paper queries funnel into one straggling reduce
+		SpillFactory: factory,
+		Map: func(ctx *mapreduce.TaskContext, k, v []byte, emit mapreduce.Emit) {
+			t := DecodeTuple(v)
+			if q.Filter != nil && !q.Filter(t) {
+				return
+			}
+			if q.Project != nil {
+				t = q.Project(t)
+			}
+			key := q.GroupKey(t)
+			emit([]byte(key), AppendTuple(nil, t))
+		},
+		Reduce: func(ctx *mapreduce.TaskContext, key []byte, vals *mapreduce.ValueIter, emit mapreduce.Emit) {
+			budget := ctx.Node.RealOf(int64(float64(heapVirtual) * bagFrac))
+			chunk := ctx.Node.RealOf(chunkV)
+			mm := NewMemoryManager(ctx.P, ctx.Spill, budget, chunk)
+			var bag *Bag
+			group := string(key)
+			if q.SortKey != nil {
+				bag = mm.NewSortedBag(group, q.SortKey)
+			} else {
+				bag = mm.NewBag(group)
+			}
+			for {
+				v, ok := vals.Next()
+				if !ok {
+					break
+				}
+				bag.AddSerialized(v)
+			}
+			uctx := &UDFContext{P: ctx.P, Task: ctx, MM: mm}
+			q.UDF(uctx, group, bag, func(t Tuple) {
+				out := AppendTuple(nil, t)
+				emit(key, out)
+			})
+			bag.Delete(ctx.P)
+		},
+	}
+	return conf
+}

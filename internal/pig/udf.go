@@ -1,0 +1,127 @@
+package pig
+
+import (
+	"sort"
+
+	"spongefiles/internal/simtime"
+)
+
+// TopK returns a UDF computing the top-k most frequent terms in a nested
+// term-list field, as in the paper's Frequent Anchortext query. The
+// first pass runs a bounded counter table that prunes low-count entries
+// when it overflows (a SpaceSaving-style sketch) to pick candidates; a
+// second pass over the bag counts the candidates exactly (the UDFs "make
+// multiple passes over the data", §4.2.1). Output tuples are
+// (term, count), most frequent first.
+func TopK(termField, k, tableCap int) UDF {
+	if tableCap < 8*k {
+		tableCap = 8 * k
+	}
+	return func(ctx *UDFContext, group string, bag *Bag, emit func(Tuple)) {
+		// Pass 1: approximate counts under a bounded table.
+		counts := make(map[string]int64, tableCap)
+		it := bag.Iterate(ctx.P)
+		for {
+			t, ok := it.Next(ctx.P)
+			if !ok {
+				break
+			}
+			ctx.Task.ChargeCPU(2 * simtime.Microsecond)
+			for _, raw := range t.Nested(termField) {
+				term := raw.(string)
+				counts[term]++
+				if len(counts) > tableCap {
+					pruneCounts(counts, tableCap/2)
+				}
+			}
+		}
+		// Pass 2: exact counts for the surviving candidates.
+		exact := make(map[string]int64, len(counts))
+		for term := range counts {
+			exact[term] = 0
+		}
+		it = bag.Iterate(ctx.P)
+		for {
+			t, ok := it.Next(ctx.P)
+			if !ok {
+				break
+			}
+			ctx.Task.ChargeCPU(2 * simtime.Microsecond)
+			for _, raw := range t.Nested(termField) {
+				if n, cand := exact[raw.(string)]; cand {
+					exact[raw.(string)] = n + 1
+				}
+			}
+		}
+		type tc struct {
+			term string
+			n    int64
+		}
+		all := make([]tc, 0, len(exact))
+		for term, n := range exact {
+			all = append(all, tc{term, n})
+		}
+		sort.Slice(all, func(i, j int) bool {
+			if all[i].n != all[j].n {
+				return all[i].n > all[j].n
+			}
+			return all[i].term < all[j].term
+		})
+		if len(all) > k {
+			all = all[:k]
+		}
+		for _, e := range all {
+			emit(Tuple{e.term, e.n})
+		}
+	}
+}
+
+// pruneCounts drops the smallest counters until at most keep remain.
+func pruneCounts(counts map[string]int64, keep int) {
+	type tc struct {
+		term string
+		n    int64
+	}
+	all := make([]tc, 0, len(counts))
+	for term, n := range counts {
+		all = append(all, tc{term, n})
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].n < all[j].n })
+	for i := 0; i < len(all)-keep; i++ {
+		delete(counts, all[i].term)
+	}
+}
+
+// Quantiles returns a UDF computing the q-quantiles of a float field by
+// traversing an ordered bag in sorted order, as the paper's ad-hoc
+// SpamQuantiles UDF does. The query must set SortKey to the same field.
+// Output is one tuple (quantileIndex, value) per quantile boundary.
+func Quantiles(scoreField, q int) UDF {
+	return func(ctx *UDFContext, group string, bag *Bag, emit func(Tuple)) {
+		n := bag.Len()
+		if n == 0 {
+			return
+		}
+		// Positions of the q+1 boundaries (min, q-1 inner cuts, max).
+		want := make([]int64, 0, q+1)
+		for i := 0; i <= q; i++ {
+			pos := i * int(n-1) / q
+			want = append(want, int64(pos))
+		}
+		it := bag.Iterate(ctx.P)
+		var idx int64
+		wi := 0
+		for {
+			t, ok := it.Next(ctx.P)
+			if !ok {
+				break
+			}
+			ctx.Task.ChargeCPU(simtime.Microsecond)
+			for wi < len(want) && want[wi] == idx {
+				emit(Tuple{int64(wi), t.Float(scoreField)})
+				wi++
+			}
+			idx++
+		}
+	}
+}

@@ -1,0 +1,153 @@
+// Package pig implements a Pig-like dataflow layer on top of the
+// MapReduce engine: typed tuples, spillable data bags managed by a
+// memory manager that spills (portions of) large bags under memory
+// pressure (§2.1.3 of the paper), group-by query plans compiled to
+// MapReduce jobs, and the evaluation's two holistic UDFs — frequent
+// anchortext (TopK) and spam-score quantiles.
+package pig
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// Value is one tuple field: string, int64, float64, or a nested Tuple.
+type Value interface{}
+
+// Tuple is an ordered list of fields.
+type Tuple []Value
+
+// Field type tags in the serialized form.
+const (
+	tagString = 1
+	tagInt    = 2
+	tagFloat  = 3
+	tagTuple  = 4
+)
+
+// AppendValue serializes one value onto dst.
+func AppendValue(dst []byte, v Value) []byte {
+	switch x := v.(type) {
+	case string:
+		dst = append(dst, tagString)
+		dst = binary.AppendUvarint(dst, uint64(len(x)))
+		return append(dst, x...)
+	case int64:
+		dst = append(dst, tagInt)
+		return binary.LittleEndian.AppendUint64(dst, uint64(x))
+	case float64:
+		dst = append(dst, tagFloat)
+		return binary.LittleEndian.AppendUint64(dst, math.Float64bits(x))
+	case Tuple:
+		dst = append(dst, tagTuple)
+		dst = binary.AppendUvarint(dst, uint64(len(x)))
+		for _, f := range x {
+			dst = AppendValue(dst, f)
+		}
+		return dst
+	}
+	panic(fmt.Sprintf("pig: unsupported value type %T", v))
+}
+
+// AppendTuple serializes a tuple onto dst.
+func AppendTuple(dst []byte, t Tuple) []byte { return AppendValue(dst, t) }
+
+// DecodeValue reads one value at data[off:], returning it and the offset
+// past it.
+func DecodeValue(data []byte, off int) (Value, int) {
+	tag := data[off]
+	off++
+	switch tag {
+	case tagString:
+		n, sz := binary.Uvarint(data[off:])
+		off += sz
+		return string(data[off : off+int(n)]), off + int(n)
+	case tagInt:
+		v := int64(binary.LittleEndian.Uint64(data[off:]))
+		return v, off + 8
+	case tagFloat:
+		v := math.Float64frombits(binary.LittleEndian.Uint64(data[off:]))
+		return v, off + 8
+	case tagTuple:
+		n, sz := binary.Uvarint(data[off:])
+		off += sz
+		t := make(Tuple, n)
+		for i := range t {
+			t[i], off = DecodeValue(data, off)
+		}
+		return t, off
+	}
+	panic(fmt.Sprintf("pig: bad tag %d at %d", tag, off-1))
+}
+
+// DecodeTuple reads a tuple serialized by AppendTuple.
+func DecodeTuple(data []byte) Tuple {
+	v, _ := DecodeValue(data, 0)
+	t, ok := v.(Tuple)
+	if !ok {
+		panic("pig: serialized value is not a tuple")
+	}
+	return t
+}
+
+// Compare orders two values of the same dynamic type (numbers compare
+// across int64/float64); tuples compare lexicographically.
+func Compare(a, b Value) int {
+	switch x := a.(type) {
+	case string:
+		y := b.(string)
+		switch {
+		case x < y:
+			return -1
+		case x > y:
+			return 1
+		}
+		return 0
+	case int64:
+		return compareFloat(float64(x), toFloat(b))
+	case float64:
+		return compareFloat(x, toFloat(b))
+	case Tuple:
+		y := b.(Tuple)
+		for i := 0; i < len(x) && i < len(y); i++ {
+			if c := Compare(x[i], y[i]); c != 0 {
+				return c
+			}
+		}
+		return len(x) - len(y)
+	}
+	panic(fmt.Sprintf("pig: cannot compare %T", a))
+}
+
+func toFloat(v Value) float64 {
+	switch x := v.(type) {
+	case int64:
+		return float64(x)
+	case float64:
+		return x
+	}
+	panic(fmt.Sprintf("pig: not a number: %T", v))
+}
+
+func compareFloat(a, b float64) int {
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	}
+	return 0
+}
+
+// String returns field i as a string.
+func (t Tuple) String(i int) string { return t[i].(string) }
+
+// Int returns field i as an int64.
+func (t Tuple) Int(i int) int64 { return t[i].(int64) }
+
+// Float returns field i as a float64.
+func (t Tuple) Float(i int) float64 { return t[i].(float64) }
+
+// Nested returns field i as a nested tuple.
+func (t Tuple) Nested(i int) Tuple { return t[i].(Tuple) }

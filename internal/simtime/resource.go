@@ -1,0 +1,187 @@
+package simtime
+
+// Resource is a FIFO server with fixed capacity: up to cap processes may
+// hold it simultaneously; further acquirers queue in arrival order. It
+// models contended devices (a disk arm, a NIC) and bounded pools (task
+// slots).
+type Resource struct {
+	sim     *Sim
+	name    string
+	cap     int
+	inUse   int
+	waiters []*Proc
+	// Busy time accounting for utilization reports.
+	busySince  Time
+	busyTotal  Duration
+	totalHolds int64
+}
+
+// NewResource creates a resource with the given capacity (>= 1).
+func NewResource(sim *Sim, name string, capacity int) *Resource {
+	if capacity < 1 {
+		panic("simtime: resource capacity must be >= 1")
+	}
+	return &Resource{sim: sim, name: name, cap: capacity}
+}
+
+// Acquire blocks p until a unit of the resource is available, then holds it.
+func (r *Resource) Acquire(p *Proc) {
+	if r.inUse < r.cap && len(r.waiters) == 0 {
+		r.take()
+		return
+	}
+	r.waiters = append(r.waiters, p)
+	p.park("resource " + r.name)
+	// Ownership was transferred by Release before unparking; the unit is
+	// already accounted to us.
+}
+
+// TryAcquire acquires a unit if one is free without blocking, reporting
+// whether it succeeded.
+func (r *Resource) TryAcquire() bool {
+	if r.inUse < r.cap && len(r.waiters) == 0 {
+		r.take()
+		return true
+	}
+	return false
+}
+
+func (r *Resource) take() {
+	if r.inUse == 0 {
+		r.busySince = r.sim.now
+	}
+	r.inUse++
+	r.totalHolds++
+}
+
+// Release returns one unit. If processes are queued, the unit passes
+// directly to the first waiter (FIFO), preserving its accounting.
+func (r *Resource) Release() {
+	if r.inUse <= 0 {
+		panic("simtime: release of idle resource " + r.name)
+	}
+	if len(r.waiters) > 0 {
+		w := r.waiters[0]
+		copy(r.waiters, r.waiters[1:])
+		r.waiters = r.waiters[:len(r.waiters)-1]
+		r.totalHolds++
+		w.unpark()
+		return
+	}
+	r.inUse--
+	if r.inUse == 0 {
+		r.busyTotal += r.sim.now.Sub(r.busySince)
+	}
+}
+
+// Use acquires the resource, holds it for d, then releases it.
+func (r *Resource) Use(p *Proc, d Duration) {
+	r.Acquire(p)
+	p.Sleep(d)
+	r.Release()
+}
+
+// InUse reports the number of units currently held.
+func (r *Resource) InUse() int { return r.inUse }
+
+// QueueLen reports the number of processes waiting.
+func (r *Resource) QueueLen() int { return len(r.waiters) }
+
+// BusyTime reports the total virtual time during which at least one unit
+// was held.
+func (r *Resource) BusyTime() Duration {
+	t := r.busyTotal
+	if r.inUse > 0 {
+		t += r.sim.now.Sub(r.busySince)
+	}
+	return t
+}
+
+// Holds reports the total number of successful acquisitions.
+func (r *Resource) Holds() int64 { return r.totalHolds }
+
+// Signal is a broadcast-style condition: processes Wait on it and are all
+// woken by Broadcast. There is no associated predicate; callers re-check
+// their condition after waking, as with sync.Cond.
+type Signal struct {
+	name    string
+	waiters []*Proc
+}
+
+// NewSignal creates a named signal; the name appears in deadlock reports.
+func NewSignal(name string) *Signal { return &Signal{name: name} }
+
+// Wait parks p until the next Broadcast.
+func (s *Signal) Wait(p *Proc) {
+	s.waiters = append(s.waiters, p)
+	p.park("signal " + s.name)
+}
+
+// Broadcast wakes every waiting process at the current time.
+func (s *Signal) Broadcast() {
+	ws := s.waiters
+	s.waiters = nil
+	for _, w := range ws {
+		w.unpark()
+	}
+}
+
+// Waiting reports the number of parked processes.
+func (s *Signal) Waiting() int { return len(s.waiters) }
+
+// Queue is an unbounded FIFO of values with blocking receive, the
+// simulated analogue of a channel.
+type Queue struct {
+	name    string
+	items   []interface{}
+	waiters []*Proc
+}
+
+// NewQueue creates a named queue; the name appears in deadlock reports.
+func NewQueue(name string) *Queue { return &Queue{name: name} }
+
+// Put appends v and wakes one waiting receiver, if any.
+func (q *Queue) Put(v interface{}) {
+	q.items = append(q.items, v)
+	if len(q.waiters) > 0 {
+		w := q.waiters[0]
+		copy(q.waiters, q.waiters[1:])
+		q.waiters = q.waiters[:len(q.waiters)-1]
+		w.unpark()
+	}
+}
+
+// Get removes and returns the head item, blocking p until one is present.
+func (q *Queue) Get(p *Proc) interface{} {
+	for len(q.items) == 0 {
+		q.waiters = append(q.waiters, p)
+		p.park("queue " + q.name)
+	}
+	v := q.items[0]
+	copy(q.items, q.items[1:])
+	q.items[len(q.items)-1] = nil
+	q.items = q.items[:len(q.items)-1]
+	// If items remain and receivers are queued, keep the wake chain going.
+	if len(q.items) > 0 && len(q.waiters) > 0 {
+		w := q.waiters[0]
+		copy(q.waiters, q.waiters[1:])
+		q.waiters = q.waiters[:len(q.waiters)-1]
+		w.unpark()
+	}
+	return v
+}
+
+// TryGet removes and returns the head item without blocking.
+func (q *Queue) TryGet() (interface{}, bool) {
+	if len(q.items) == 0 {
+		return nil, false
+	}
+	v := q.items[0]
+	copy(q.items, q.items[1:])
+	q.items[len(q.items)-1] = nil
+	q.items = q.items[:len(q.items)-1]
+	return v, true
+}
+
+// Len reports the number of queued items.
+func (q *Queue) Len() int { return len(q.items) }

@@ -1,0 +1,54 @@
+package sponge
+
+import (
+	"testing"
+)
+
+// Wall-clock micro-benchmarks of the core data structures (distinct from
+// the virtual-time experiment harness in internal/bench).
+
+func BenchmarkPoolAllocFree(b *testing.B) {
+	p := NewPool(1<<14, 256)
+	owner := TaskID{Node: 0, PID: 1}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h, err := p.Alloc(owner)
+		if err != nil {
+			b.Fatal(err)
+		}
+		p.FreeChunk(h)
+	}
+}
+
+func BenchmarkPoolWriteRead(b *testing.B) {
+	p := NewPool(1<<14, 4)
+	owner := TaskID{Node: 0, PID: 1}
+	h, _ := p.Alloc(owner)
+	data := make([]byte, 1<<14)
+	buf := make([]byte, 1<<14)
+	b.SetBytes(1 << 14)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := p.Write(h, data); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := p.Read(h, buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPoolOwnersSnapshot(b *testing.B) {
+	p := NewPool(64, 512)
+	for i := 0; i < 100; i++ {
+		if _, err := p.Alloc(TaskID{Node: i % 7, PID: int64(i) + 1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if got := p.Owners(); len(got) == 0 {
+			b.Fatal("no owners")
+		}
+	}
+}

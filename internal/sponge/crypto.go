@@ -1,0 +1,66 @@
+package sponge
+
+import (
+	"crypto/aes"
+	"crypto/cipher"
+	"crypto/sha256"
+	"encoding/binary"
+
+	"spongefiles/internal/media"
+	"spongefiles/internal/simtime"
+)
+
+// Chunk encryption (§3.1.4): SpongeFiles live in a collaborative
+// cluster where any task can read any stored chunk, so tasks wanting
+// confidentiality encrypt their chunks before spilling them. Each agent
+// derives a per-task AES key; chunks are encrypted with AES-CTR under a
+// per-chunk counter block, so any chunk decrypts independently of the
+// others (asynchronous writers complete out of order).
+
+// chunkCipher holds a task's encryption state.
+type chunkCipher struct {
+	block cipher.Block
+	seq   uint64
+	// rate is the crypto throughput charged per byte, in virtual
+	// bytes/second (the paper's 2008-era Xeons lack AES-NI).
+	rate int64
+}
+
+// EnableEncryption turns on chunk encryption for every file the agent
+// creates from now on. The key is derived from the task identity and
+// the caller's secret.
+func (a *Agent) EnableEncryption(secret []byte) {
+	material := sha256.Sum256(append(append([]byte{}, secret...), []byte(a.task.String())...))
+	block, err := aes.NewCipher(material[:16])
+	if err != nil {
+		panic(err) // 16-byte key: cannot happen
+	}
+	a.cipher = &chunkCipher{block: block, rate: 200 * media.MB}
+}
+
+// EncryptionEnabled reports whether the agent encrypts its chunks.
+func (a *Agent) EncryptionEnabled() bool { return a.cipher != nil }
+
+// nextNonce issues a fresh per-chunk counter block.
+func (c *chunkCipher) nextNonce() []byte {
+	c.seq++
+	iv := make([]byte, aes.BlockSize)
+	binary.LittleEndian.PutUint64(iv, c.seq)
+	return iv
+}
+
+// seal encrypts data in place under the given nonce and charges CPU.
+func (c *chunkCipher) seal(p *simtime.Proc, node interface {
+	VirtualOf(int) int64
+}, nonce, data []byte) {
+	cipher.NewCTR(c.block, nonce).XORKeyStream(data, data)
+	v := node.VirtualOf(len(data))
+	p.Sleep(simtime.Duration(float64(v) / float64(c.rate) * float64(simtime.Second)))
+}
+
+// open decrypts data in place (CTR mode is symmetric).
+func (c *chunkCipher) open(p *simtime.Proc, node interface {
+	VirtualOf(int) int64
+}, nonce, data []byte) {
+	c.seal(p, node, nonce, data)
+}

@@ -1,0 +1,55 @@
+package sponge
+
+import (
+	"spongefiles/internal/simtime"
+)
+
+// Tracker failover (§3.1.1, footnote 8): the memory tracking server is
+// stateless, so when its host dies any node can take over — the paper
+// suggests leader election via a coordination service. We model the
+// election directly: a watchdog elects the lowest-numbered live node,
+// which starts a fresh tracker and rebuilds the snapshot by polling.
+
+// FailNode kills a node: its sponge pool loses every chunk, its server
+// stops answering, and — if it hosted the tracker — the watchdog elects
+// a replacement. Tasks running there are the engine's concern; tasks
+// elsewhere that stored chunks there will see ErrChunkLost.
+func (s *Service) FailNode(node int) {
+	s.dead[node] = true
+	s.Servers[node].Pool().Fail()
+}
+
+// NodeAlive reports whether a node is still up.
+func (s *Service) NodeAlive(node int) bool { return !s.dead[node] }
+
+// electTracker picks the lowest-numbered live node and installs a new
+// tracker there, seeding its snapshot from live servers. It returns
+// false if no node is left.
+func (s *Service) electTracker(p *simtime.Proc) bool {
+	for i := range s.Servers {
+		if s.dead[i] {
+			continue
+		}
+		t := newTracker(s, s.Cluster.Nodes[i])
+		t.pollOnce(p)
+		s.Tracker = t
+		s.failovers++
+		return true
+	}
+	return false
+}
+
+// Failovers returns how many times the tracker has been re-elected.
+func (s *Service) Failovers() int { return s.failovers }
+
+// watchdogLoop monitors the tracker's host and re-elects on failure.
+func (s *Service) watchdogLoop(p *simtime.Proc) {
+	for {
+		p.Sleep(s.Config.PollInterval)
+		if s.dead[s.Tracker.node.ID] {
+			if !s.electTracker(p) {
+				return
+			}
+		}
+	}
+}

@@ -1,0 +1,500 @@
+package sponge
+
+import (
+	"fmt"
+
+	"spongefiles/internal/media"
+	"spongefiles/internal/simtime"
+)
+
+// FileStats aggregates one SpongeFile's spill behaviour in real bytes.
+type FileStats struct {
+	BytesWritten int64
+	Chunks       int // chunk spills (Table 2's "Spilled Chunks")
+	ByKind       [4]int
+}
+
+// chunkRef records where one chunk of the file lives. Disk and remote-FS
+// chunks carry their payload here because the device models charge time
+// but store no bytes.
+type chunkRef struct {
+	kind    ChunkKind
+	node    int // hosting node for memory chunks
+	handle  int // pool handle for memory chunks
+	data    []byte
+	size    int
+	nonce   []byte // per-chunk counter block when the agent encrypts
+	pending bool   // async write still in flight
+}
+
+// File is a SpongeFile (§3.1): a logical byte array built from large
+// chunks allocated from the nearest location with capacity — local
+// sponge memory, remote sponge memory, local disk, then the distributed
+// filesystem. It has a single writer and then a single reader, is
+// accessed strictly sequentially, and is deleted after use; chunk writes
+// to non-local media are asynchronous and reads prefetch the next
+// non-local chunk (§3.1.2).
+type File struct {
+	agent *Agent
+	name  string
+
+	buf    []byte // internal buffer, one chunk in size
+	bufLen int
+
+	chunks []chunkRef
+	stats  FileStats
+
+	// Write-side async machinery.
+	asyncSlots  *simtime.Resource
+	outstanding int
+	writersDone *simtime.Signal
+
+	// Remote allocation state: the candidate list from the tracker,
+	// fetched when the file is created. Entries that turn out to be
+	// stale are marked dead rather than removed, because several
+	// asynchronous chunk writers walk the list concurrently.
+	candidates []FreeEntry
+	deadNodes  map[int]bool
+
+	// Disk fallback: all of this file's disk chunks append to a single
+	// local stream, so consecutive disk chunks coalesce into one on-disk
+	// file as in §3.1.1.
+	diskStream media.StreamID
+	hasDisk    bool
+
+	// Remote-FS fallback spill (nil until first used).
+	remoteSpill RemoteSpill
+
+	// Read-side state.
+	closed    bool
+	deleted   bool
+	readChunk int
+	readOff   int
+	cur       []byte // fetched contents of the current non-local chunk
+	curChunk  int
+
+	prefetchChunk int // chunk being prefetched, -1 if none
+	prefetchBuf   []byte
+	prefetchDone  *simtime.Signal
+	prefetchErr   error
+}
+
+// Create makes an empty SpongeFile owned by the agent's task. Creation
+// queries the memory tracker for the current free list (§3.1.1).
+func (a *Agent) Create(p *simtime.Proc, name string) *File {
+	f := &File{
+		agent:         a,
+		name:          name,
+		buf:           make([]byte, a.svc.chunkReal),
+		writersDone:   simtime.NewSignal(name + ".writers"),
+		prefetchDone:  simtime.NewSignal(name + ".prefetch"),
+		prefetchChunk: -1,
+		curChunk:      -1,
+	}
+	depth := a.svc.Config.AsyncWriteDepth
+	if depth > 0 {
+		f.asyncSlots = simtime.NewResource(a.svc.Cluster.Sim, name+".async", depth)
+	}
+	f.candidates = a.svc.Tracker.Query(p, a.node)
+	f.deadNodes = make(map[int]bool)
+	return f
+}
+
+// Name returns the file's diagnostic name.
+func (f *File) Name() string { return f.name }
+
+// Stats returns the file's spill statistics.
+func (f *File) Stats() FileStats { return f.stats }
+
+// Size returns the total bytes written.
+func (f *File) Size() int64 { return f.stats.BytesWritten }
+
+// Write appends data, spilling a chunk whenever the internal buffer
+// (sized to one chunk) fills.
+func (f *File) Write(p *simtime.Proc, data []byte) error {
+	if f.closed {
+		panic("sponge: write after close of " + f.name)
+	}
+	for len(data) > 0 {
+		n := copy(f.buf[f.bufLen:], data)
+		f.bufLen += n
+		data = data[n:]
+		if f.bufLen == len(f.buf) {
+			if err := f.flushChunk(p); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// flushChunk spills the full (or final partial) buffer as one chunk.
+// Local memory is tried synchronously; remote memory, disk and remote FS
+// happen on an asynchronous writer bounded by AsyncWriteDepth.
+func (f *File) flushChunk(p *simtime.Proc) error {
+	n := f.bufLen
+	if n == 0 {
+		return nil
+	}
+	f.bufLen = 0
+	f.stats.BytesWritten += int64(n)
+	f.stats.Chunks++
+	f.agent.BytesSpilled += int64(n)
+	f.agent.ChunksSpilled++
+
+	// With encryption enabled, seal the chunk before it leaves the task
+	// (§3.1.4); the sealed copy is what every medium stores.
+	plain := f.buf[:n]
+	var nonce []byte
+	if f.agent.cipher != nil {
+		sealed := make([]byte, n)
+		copy(sealed, plain)
+		nonce = f.agent.cipher.nextNonce()
+		f.agent.cipher.seal(p, f.agent.node, nonce, sealed)
+		plain = sealed
+	}
+
+	// 1. Local sponge memory through shared memory (or through the local
+	// server's socket when the agent is configured to measure that path).
+	pool := f.agent.svc.Servers[f.agent.node.ID].Pool()
+	if f.agent.UseLocalServerIPC {
+		h, err := f.agent.svc.Servers[f.agent.node.ID].AllocWriteLocalIPC(p, f.agent.task, plain)
+		if err == nil {
+			f.chunks = append(f.chunks, chunkRef{kind: LocalMem, node: f.agent.node.ID, handle: h, size: n, nonce: nonce})
+			f.stats.ByKind[LocalMem]++
+			return nil
+		}
+	} else {
+		p.Sleep(pool.LockCost())
+		h, err := pool.Alloc(f.agent.task)
+		if err == nil {
+			f.agent.node.ChargeCopy(p, n)
+			if werr := pool.Write(h, plain); werr != nil {
+				pool.FreeChunk(h)
+				return werr
+			}
+			f.chunks = append(f.chunks, chunkRef{kind: LocalMem, node: f.agent.node.ID, handle: h, size: n, nonce: nonce})
+			f.stats.ByKind[LocalMem]++
+			return nil
+		}
+	}
+
+	// 2..4. Non-local media: hand the payload to an async writer. The
+	// hand-off copy is real and is charged; the writer then tries remote
+	// sponge servers from the (possibly stale) free list, the local
+	// disk, and finally the remote store.
+	payload := make([]byte, n)
+	copy(payload, plain)
+	f.agent.node.ChargeCopy(p, n)
+	idx := len(f.chunks)
+	f.chunks = append(f.chunks, chunkRef{pending: true, size: n})
+
+	write := func(wp *simtime.Proc) {
+		ref := f.spillNonLocal(wp, payload)
+		ref.size = n
+		ref.nonce = nonce
+		f.chunks[idx] = ref
+		f.stats.ByKind[ref.kind]++
+		f.outstanding--
+		if f.asyncSlots != nil {
+			f.asyncSlots.Release()
+		}
+		f.writersDone.Broadcast()
+	}
+
+	f.outstanding++
+	if f.asyncSlots == nil {
+		// Synchronous configuration.
+		f.outstanding--
+		ref := f.spillNonLocal(p, payload)
+		ref.size = n
+		ref.nonce = nonce
+		f.chunks[idx] = ref
+		f.stats.ByKind[ref.kind]++
+		return nil
+	}
+	f.asyncSlots.Acquire(p) // bounds buffering; blocks when pipeline is full
+	sim := p.Sim()
+	sim.Spawn(fmt.Sprintf("%s.w%d", f.name, idx), write)
+	return nil
+}
+
+// spillNonLocal stores payload in remote memory, local disk, or the
+// remote FS, in that order, and returns the resulting reference.
+func (f *File) spillNonLocal(p *simtime.Proc, payload []byte) chunkRef {
+	if ref, ok := f.tryRemoteMemory(p, payload); ok {
+		return ref
+	}
+	if f.agent.svc.Config.LocalDiskEnabled {
+		if !f.hasDisk {
+			f.diskStream = f.agent.node.Disk.NewStream()
+			f.hasDisk = true
+		}
+		f.agent.node.WriteFile(p, f.diskStream, len(payload))
+		return chunkRef{kind: LocalDisk, data: payload}
+	}
+	if f.agent.svc.Config.Remote != nil {
+		if f.remoteSpill == nil {
+			f.remoteSpill = f.agent.svc.Config.Remote.CreateSpill(p, f.agent.node, f.agent.task)
+		}
+		f.remoteSpill.Append(p, payload)
+		return chunkRef{kind: RemoteFS, data: payload}
+	}
+	panic("sponge: no spill medium available for " + f.name)
+}
+
+// tryRemoteMemory walks the candidate servers — affinity nodes first,
+// then by advertised free space — and attempts an allocate-and-write on
+// each. Stale entries simply fail and are dropped from this file's list.
+func (f *File) tryRemoteMemory(p *simtime.Proc, payload []byte) (chunkRef, bool) {
+	svc := f.agent.svc
+	if svc.Config.RemoteDisabled {
+		return chunkRef{}, false
+	}
+	order := make([]FreeEntry, 0, len(f.candidates))
+	if svc.Config.Affinity {
+		for _, c := range f.candidates {
+			if f.agent.usedNodes[c.Node] {
+				order = append(order, c)
+			}
+		}
+		for _, c := range f.candidates {
+			if !f.agent.usedNodes[c.Node] {
+				order = append(order, c)
+			}
+		}
+	} else {
+		order = append(order, f.candidates...)
+	}
+	for _, c := range order {
+		if c.Node == f.agent.node.ID || f.deadNodes[c.Node] {
+			continue // local pool already tried, or known stale
+		}
+		target := svc.Servers[c.Node]
+		if svc.Config.RackLocalOnly && !svc.Cluster.SameRack(f.agent.node, target.node) {
+			continue
+		}
+		h, err := target.AllocWriteRemote(p, f.agent.node, f.agent.task, payload)
+		if err != nil {
+			// Stale free-list entry (or failed node): forget it for the
+			// rest of this file's life.
+			f.deadNodes[c.Node] = true
+			continue
+		}
+		f.agent.usedNodes[c.Node] = true
+		return chunkRef{kind: RemoteMem, node: c.Node, handle: h}, true
+	}
+	return chunkRef{}, false
+}
+
+// Close flushes the final partial chunk and waits for in-flight
+// asynchronous writes; the file is then ready to be read back.
+func (f *File) Close(p *simtime.Proc) error {
+	if f.closed {
+		return nil
+	}
+	if err := f.flushChunk(p); err != nil {
+		return err
+	}
+	for f.outstanding > 0 {
+		f.writersDone.Wait(p)
+	}
+	f.closed = true
+	return nil
+}
+
+// Read fills buf with the next bytes of the file, returning the count;
+// 0 means end of file. The file must be closed first.
+func (f *File) Read(p *simtime.Proc, buf []byte) (int, error) {
+	if !f.closed {
+		panic("sponge: read before close of " + f.name)
+	}
+	if f.deleted {
+		panic("sponge: read after delete of " + f.name)
+	}
+	total := 0
+	for total < len(buf) && f.readChunk < len(f.chunks) {
+		ref := &f.chunks[f.readChunk]
+		if f.readOff == 0 {
+			if err := f.ensureChunk(p, f.readChunk); err != nil {
+				return total, err
+			}
+		}
+		n := copy(buf[total:], f.cur[f.readOff:ref.size])
+		f.agent.node.ChargeCopy(p, n)
+		f.readOff += n
+		total += n
+		if f.readOff >= ref.size {
+			f.readChunk++
+			f.readOff = 0
+		}
+	}
+	return total, nil
+}
+
+// ensureChunk makes chunk i's bytes available in f.cur, using the
+// prefetched copy when the prefetcher already fetched it, and kicks off a
+// prefetch of the next non-local chunk.
+func (f *File) ensureChunk(p *simtime.Proc, i int) error {
+	// Wait for a prefetch of this very chunk, if one is in flight.
+	if f.prefetchChunk == i {
+		for f.prefetchBuf == nil && f.prefetchErr == nil {
+			f.prefetchDone.Wait(p)
+		}
+		err := f.prefetchErr
+		buf := f.prefetchBuf
+		f.prefetchChunk = -1
+		f.prefetchBuf = nil
+		f.prefetchErr = nil
+		if err != nil {
+			return err
+		}
+		f.cur = buf
+		f.curChunk = i
+	} else {
+		buf, err := f.fetchChunk(p, i)
+		if err != nil {
+			return err
+		}
+		f.cur = buf
+		f.curChunk = i
+	}
+	f.maybePrefetch(p, i+1)
+	return nil
+}
+
+// maybePrefetch starts an asynchronous fetch of chunk i when prefetching
+// is enabled and the chunk is non-local (§3.1.2).
+func (f *File) maybePrefetch(p *simtime.Proc, i int) {
+	if !f.agent.svc.Config.Prefetch || i >= len(f.chunks) || f.prefetchChunk != -1 {
+		return
+	}
+	// Local chunks need no prefetch; remote-FS chunks share one
+	// sequential cursor with the foreground reader and are fetched
+	// in line.
+	if k := f.chunks[i].kind; k == LocalMem || k == RemoteFS {
+		return
+	}
+	f.prefetchChunk = i
+	sim := p.Sim()
+	sim.Spawn(fmt.Sprintf("%s.pf%d", f.name, i), func(wp *simtime.Proc) {
+		buf, err := f.fetchChunk(wp, i)
+		if f.prefetchChunk != i {
+			return // reader moved on (rewind)
+		}
+		f.prefetchBuf = buf
+		f.prefetchErr = err
+		f.prefetchDone.Broadcast()
+	})
+}
+
+// fetchChunk brings one chunk's bytes to the reading node, charging the
+// appropriate medium, and decrypts them when the agent seals its chunks.
+func (f *File) fetchChunk(p *simtime.Proc, i int) ([]byte, error) {
+	buf, err := f.fetchRaw(p, i)
+	if err != nil {
+		return nil, err
+	}
+	if ref := &f.chunks[i]; f.agent.cipher != nil && ref.nonce != nil {
+		f.agent.cipher.open(p, f.agent.node, ref.nonce, buf)
+	}
+	return buf, nil
+}
+
+// fetchRaw moves the stored (possibly sealed) bytes.
+func (f *File) fetchRaw(p *simtime.Proc, i int) ([]byte, error) {
+	ref := &f.chunks[i]
+	buf := make([]byte, ref.size)
+	switch ref.kind {
+	case LocalMem:
+		srv := f.agent.svc.Servers[ref.node]
+		if f.agent.UseLocalServerIPC {
+			if _, err := srv.ReadLocalIPC(p, ref.handle, buf); err != nil {
+				return nil, err
+			}
+			return buf, nil
+		}
+		// Shared memory: no fetch; the per-byte copy is charged in Read.
+		if _, err := srv.Pool().Read(ref.handle, buf); err != nil {
+			return nil, err
+		}
+		return buf, nil
+	case RemoteMem:
+		srv := f.agent.svc.Servers[ref.node]
+		if _, err := srv.ReadRemote(p, f.agent.node, ref.handle, buf); err != nil {
+			return nil, err
+		}
+		return buf, nil
+	case LocalDisk:
+		f.agent.node.ReadFile(p, f.diskStream, ref.size)
+		copy(buf, ref.data)
+		return buf, nil
+	case RemoteFS:
+		if f.remoteSpill == nil {
+			return nil, fmt.Errorf("sponge: %s has remote-fs chunk but no spill", f.name)
+		}
+		// The payload kept with the reference is authoritative
+		// (asynchronous writers may have appended chunks to the store
+		// out of order); the store read charges the scan cost.
+		if f.firstRemoteFSChunk() == i {
+			f.remoteSpill.Open()
+		}
+		f.remoteSpill.Read(p, make([]byte, ref.size))
+		copy(buf, ref.data)
+		return buf, nil
+	}
+	panic("sponge: unknown chunk kind")
+}
+
+func (f *File) firstRemoteFSChunk() int {
+	for i := range f.chunks {
+		if f.chunks[i].kind == RemoteFS {
+			return i
+		}
+	}
+	return -1
+}
+
+// Rewind resets the read cursor to the start of the file, for consumers
+// (such as Pig's multi-pass UDFs) that scan a spill more than once.
+func (f *File) Rewind() {
+	f.readChunk = 0
+	f.readOff = 0
+	f.cur = nil
+	f.curChunk = -1
+	f.prefetchChunk = -1
+	f.prefetchBuf = nil
+	f.prefetchErr = nil
+}
+
+// Delete frees every chunk via the matching deallocator (§3.1.3).
+func (f *File) Delete(p *simtime.Proc) {
+	if f.deleted {
+		return
+	}
+	for f.outstanding > 0 {
+		f.writersDone.Wait(p)
+	}
+	pool := f.agent.svc.Servers[f.agent.node.ID].Pool()
+	for i := range f.chunks {
+		ref := &f.chunks[i]
+		switch ref.kind {
+		case LocalMem:
+			if !pool.Failed() {
+				p.Sleep(pool.LockCost())
+				pool.FreeChunk(ref.handle)
+			}
+		case RemoteMem:
+			f.agent.svc.Servers[ref.node].FreeRemote(p, f.agent.node, ref.handle)
+		}
+	}
+	if f.hasDisk {
+		f.agent.node.Disk.Delete(f.diskStream)
+	}
+	if f.remoteSpill != nil {
+		f.remoteSpill.Delete(p)
+	}
+	f.chunks = nil
+	f.deleted = true
+	f.closed = true
+}

@@ -1,0 +1,479 @@
+package sponge
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"spongefiles/internal/cluster"
+	"spongefiles/internal/media"
+	"spongefiles/internal/simtime"
+)
+
+// testRig bundles a small simulated cluster with a running sponge service.
+type testRig struct {
+	sim *simtime.Sim
+	c   *cluster.Cluster
+	svc *Service
+}
+
+func newRig(t *testing.T, workers int, spongeMB int64, mutate func(*ServiceConfig)) *testRig {
+	t.Helper()
+	cfg := cluster.PaperConfig()
+	cfg.Workers = workers
+	cfg.SpongeMemory = spongeMB * media.MB
+	sim := simtime.New()
+	c := cluster.New(sim, cfg)
+	scfg := DefaultConfig()
+	if mutate != nil {
+		mutate(&scfg)
+	}
+	svc := Start(c, scfg)
+	return &testRig{sim: sim, c: c, svc: svc}
+}
+
+// pattern fills a deterministic, position-dependent byte pattern.
+func pattern(n int, seed byte) []byte {
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = byte(i)*31 + seed
+	}
+	return b
+}
+
+func writeReadDelete(t *testing.T, r *testRig, node int, data []byte) *File {
+	t.Helper()
+	var file *File
+	r.sim.Spawn("task", func(p *simtime.Proc) {
+		agent := r.svc.NewAgent(r.c.Nodes[node])
+		defer agent.Close()
+		f := agent.Create(p, "spill")
+		if err := f.Write(p, data); err != nil {
+			t.Errorf("write: %v", err)
+			return
+		}
+		if err := f.Close(p); err != nil {
+			t.Errorf("close: %v", err)
+			return
+		}
+		got := make([]byte, 0, len(data))
+		buf := make([]byte, 1000)
+		for {
+			n, err := f.Read(p, buf)
+			if err != nil {
+				t.Errorf("read: %v", err)
+				return
+			}
+			if n == 0 {
+				break
+			}
+			got = append(got, buf[:n]...)
+		}
+		if !bytes.Equal(got, data) {
+			t.Errorf("round trip corrupt: got %d bytes want %d", len(got), len(data))
+		}
+		f.Delete(p)
+		file = f
+	})
+	r.sim.MustRun()
+	return file
+}
+
+func TestFileRoundTripLocalOnly(t *testing.T) {
+	r := newRig(t, 1, 64, nil) // plenty of local sponge
+	data := pattern(5*r.svc.ChunkReal()+123, 1)
+	f := writeReadDelete(t, r, 0, data)
+	st := f.Stats()
+	if st.ByKind[LocalMem] != st.Chunks {
+		t.Fatalf("expected all chunks local, stats %+v", st)
+	}
+	if st.Chunks != 6 {
+		t.Fatalf("chunks = %d, want 6 (5 full + partial)", st.Chunks)
+	}
+	if got := r.svc.TotalFreeChunks(); got != 64 {
+		t.Fatalf("chunks leaked: free = %d of 64", got)
+	}
+}
+
+func TestFileSpillsRemoteWhenLocalFull(t *testing.T) {
+	r := newRig(t, 3, 4, nil) // 4 chunks of sponge per node
+	data := pattern(10*r.svc.ChunkReal(), 2)
+	f := writeReadDelete(t, r, 1, data)
+	st := f.Stats()
+	if st.ByKind[LocalMem] != 4 {
+		t.Fatalf("local chunks = %d, want 4", st.ByKind[LocalMem])
+	}
+	if st.ByKind[RemoteMem] != 6 {
+		t.Fatalf("remote chunks = %d, want 6: %+v", st.ByKind, st)
+	}
+	if st.ByKind[LocalDisk] != 0 {
+		t.Fatalf("unexpected disk spill: %+v", st)
+	}
+}
+
+func TestFileFallsBackToDiskWhenMemoryFull(t *testing.T) {
+	r := newRig(t, 2, 2, nil) // 2 chunks per node: 4 total
+	data := pattern(9*r.svc.ChunkReal(), 3)
+	f := writeReadDelete(t, r, 0, data)
+	st := f.Stats()
+	if st.ByKind[LocalMem] != 2 || st.ByKind[RemoteMem] != 2 {
+		t.Fatalf("memory chunks = %+v", st.ByKind)
+	}
+	if st.ByKind[LocalDisk] != 5 {
+		t.Fatalf("disk chunks = %d, want 5", st.ByKind[LocalDisk])
+	}
+}
+
+func TestFileRackLocalOnly(t *testing.T) {
+	r := newRigRacks(t)
+	// Node 0 (rack 0) fills local sponge then must skip rack-1 nodes.
+	data := pattern(6*r.svc.ChunkReal(), 4)
+	f := writeReadDelete(t, r, 0, data)
+	st := f.Stats()
+	// Rack 0 holds nodes 0,1 with 2 chunks each: 2 local + 2 remote; the
+	// rest must go to disk even though rack 1 has free sponge memory.
+	if st.ByKind[RemoteMem] != 2 {
+		t.Fatalf("remote chunks = %d, want 2 (rack-local only)", st.ByKind[RemoteMem])
+	}
+	if st.ByKind[LocalDisk] != 2 {
+		t.Fatalf("disk chunks = %d, want 2", st.ByKind[LocalDisk])
+	}
+}
+
+func newRigRacks(t *testing.T) *testRig {
+	t.Helper()
+	cfg := cluster.PaperConfig()
+	cfg.Workers = 4
+	cfg.NodesPerRack = 2
+	cfg.SpongeMemory = 2 * media.MB
+	sim := simtime.New()
+	c := cluster.New(sim, cfg)
+	svc := Start(c, DefaultConfig())
+	return &testRig{sim: sim, c: c, svc: svc}
+}
+
+func TestAffinityPrefersUsedNodes(t *testing.T) {
+	r := newRig(t, 5, 8, nil)
+	r.sim.Spawn("task", func(p *simtime.Proc) {
+		agent := r.svc.NewAgent(r.c.Nodes[0])
+		defer agent.Close()
+		// Spill enough for local (8) plus several remote chunks across
+		// two files; affinity should reuse the first remote node instead
+		// of spreading over all peers.
+		for fi := 0; fi < 2; fi++ {
+			f := agent.Create(p, fmt.Sprintf("f%d", fi))
+			if err := f.Write(p, pattern(10*r.svc.ChunkReal(), byte(fi))); err != nil {
+				t.Errorf("write: %v", err)
+			}
+			if err := f.Close(p); err != nil {
+				t.Errorf("close: %v", err)
+			}
+			defer f.Delete(p)
+		}
+		// 20 chunks total, 8 local, 12 remote; each peer node has 8 free
+		// chunks, so affinity packs them onto 2 machines.
+		if got := agent.MachinesUsed(); got != 3 {
+			t.Errorf("machines used = %d, want 3 (self + 2 remote)", got)
+		}
+	})
+	r.sim.MustRun()
+}
+
+func TestFileRewindMultiPass(t *testing.T) {
+	r := newRig(t, 2, 4, nil)
+	data := pattern(5*r.svc.ChunkReal()+7, 5)
+	r.sim.Spawn("task", func(p *simtime.Proc) {
+		agent := r.svc.NewAgent(r.c.Nodes[0])
+		defer agent.Close()
+		f := agent.Create(p, "multi")
+		if err := f.Write(p, data); err != nil {
+			t.Errorf("write: %v", err)
+		}
+		if err := f.Close(p); err != nil {
+			t.Errorf("close: %v", err)
+		}
+		for pass := 0; pass < 3; pass++ {
+			got := make([]byte, 0, len(data))
+			buf := make([]byte, 777)
+			for {
+				n, err := f.Read(p, buf)
+				if err != nil {
+					t.Errorf("pass %d read: %v", pass, err)
+					return
+				}
+				if n == 0 {
+					break
+				}
+				got = append(got, buf[:n]...)
+			}
+			if !bytes.Equal(got, data) {
+				t.Errorf("pass %d corrupt", pass)
+			}
+			f.Rewind()
+		}
+		f.Delete(p)
+	})
+	r.sim.MustRun()
+}
+
+func TestChunkLostOnNodeFailure(t *testing.T) {
+	r := newRig(t, 3, 2, nil)
+	r.sim.Spawn("task", func(p *simtime.Proc) {
+		agent := r.svc.NewAgent(r.c.Nodes[0])
+		defer agent.Close()
+		f := agent.Create(p, "doomed")
+		if err := f.Write(p, pattern(5*r.svc.ChunkReal(), 6)); err != nil {
+			t.Errorf("write: %v", err)
+		}
+		if err := f.Close(p); err != nil {
+			t.Errorf("close: %v", err)
+		}
+		// Kill every remote pool that holds our chunks.
+		for i := 1; i < 3; i++ {
+			r.svc.Servers[i].Pool().Fail()
+		}
+		buf := make([]byte, len(pattern(5*r.svc.ChunkReal(), 6)))
+		var err error
+		for {
+			var n int
+			n, err = f.Read(p, buf)
+			if err != nil || n == 0 {
+				break
+			}
+		}
+		if err != ErrChunkLost {
+			t.Errorf("read err = %v, want ErrChunkLost", err)
+		}
+	})
+	r.sim.MustRun()
+}
+
+func TestGarbageCollectionFreesOrphans(t *testing.T) {
+	r := newRig(t, 2, 4, func(c *ServiceConfig) { c.GCInterval = 2 * simtime.Second })
+	r.sim.Spawn("leaky", func(p *simtime.Proc) {
+		agent := r.svc.NewAgent(r.c.Nodes[0])
+		f := agent.Create(p, "leak")
+		if err := f.Write(p, pattern(6*r.svc.ChunkReal(), 7)); err != nil {
+			t.Errorf("write: %v", err)
+		}
+		if err := f.Close(p); err != nil {
+			t.Errorf("close: %v", err)
+		}
+		// Task dies without deleting its file (simulating a crash): the
+		// agent unregisters, orphaning 4 local + 2 remote chunks.
+		agent.Close()
+	})
+	r.sim.Spawn("observer", func(p *simtime.Proc) {
+		p.Sleep(10 * simtime.Second) // let at least one GC cycle run
+		if free := r.svc.TotalFreeChunks(); free != 8 {
+			t.Errorf("after GC free = %d of 8", free)
+		}
+		var freed int64
+		for _, s := range r.svc.Servers {
+			freed += s.GCFreed()
+		}
+		if freed != 6 {
+			t.Errorf("gc freed = %d chunks, want 6", freed)
+		}
+	})
+	r.sim.MustRun()
+}
+
+func TestGCSparesLiveTasks(t *testing.T) {
+	r := newRig(t, 2, 4, func(c *ServiceConfig) { c.GCInterval = simtime.Second })
+	r.sim.Spawn("live", func(p *simtime.Proc) {
+		agent := r.svc.NewAgent(r.c.Nodes[0])
+		defer agent.Close()
+		f := agent.Create(p, "live")
+		if err := f.Write(p, pattern(6*r.svc.ChunkReal(), 8)); err != nil {
+			t.Errorf("write: %v", err)
+		}
+		if err := f.Close(p); err != nil {
+			t.Errorf("close: %v", err)
+		}
+		p.Sleep(5 * simtime.Second) // several GC cycles while alive
+		got := make([]byte, 0)
+		buf := make([]byte, 4096)
+		for {
+			n, err := f.Read(p, buf)
+			if err != nil {
+				t.Errorf("read after GC cycles: %v", err)
+				return
+			}
+			if n == 0 {
+				break
+			}
+			got = append(got, buf[:n]...)
+		}
+		if !bytes.Equal(got, pattern(6*r.svc.ChunkReal(), 8)) {
+			t.Error("live task's data corrupted by GC")
+		}
+		f.Delete(p)
+	})
+	r.sim.MustRun()
+}
+
+func TestStaleTrackerFallsBackGracefully(t *testing.T) {
+	// Two tasks race for the same remote pool: the tracker's snapshot
+	// says both can use node 1, but it only fits 2 chunks; the loser
+	// must fall back to disk without failing.
+	r := newRig(t, 2, 2, func(c *ServiceConfig) { c.PollInterval = simtime.Hour })
+	var stats [2]FileStats
+	for ti := 0; ti < 2; ti++ {
+		ti := ti
+		r.sim.Spawn(fmt.Sprintf("task%d", ti), func(p *simtime.Proc) {
+			agent := r.svc.NewAgent(r.c.Nodes[0])
+			defer agent.Close()
+			f := agent.Create(p, fmt.Sprintf("racer%d", ti))
+			if err := f.Write(p, pattern(4*r.svc.ChunkReal(), byte(ti))); err != nil {
+				t.Errorf("write: %v", err)
+			}
+			if err := f.Close(p); err != nil {
+				t.Errorf("close: %v", err)
+			}
+			stats[ti] = f.Stats()
+			f.Delete(p)
+		})
+	}
+	r.sim.MustRun()
+	totalRemote := stats[0].ByKind[RemoteMem] + stats[1].ByKind[RemoteMem]
+	totalDisk := stats[0].ByKind[LocalDisk] + stats[1].ByKind[LocalDisk]
+	if totalRemote != 2 {
+		t.Fatalf("remote chunks = %d, want exactly the pool's 2", totalRemote)
+	}
+	if totalDisk != 4 {
+		t.Fatalf("disk fallback chunks = %d, want 4", totalDisk)
+	}
+}
+
+func TestLocalServerIPCPathCostsMore(t *testing.T) {
+	measure := func(ipc bool) simtime.Duration {
+		r := newRig(t, 1, 64, func(c *ServiceConfig) { c.AsyncWriteDepth = 0 })
+		var d simtime.Duration
+		r.sim.Spawn("t", func(p *simtime.Proc) {
+			agent := r.svc.NewAgent(r.c.Nodes[0])
+			defer agent.Close()
+			agent.UseLocalServerIPC = ipc
+			f := agent.Create(p, "m")
+			start := p.Now()
+			if err := f.Write(p, pattern(10*r.svc.ChunkReal(), 1)); err != nil {
+				t.Errorf("write: %v", err)
+			}
+			if err := f.Close(p); err != nil {
+				t.Errorf("close: %v", err)
+			}
+			d = p.Now().Sub(start)
+			f.Delete(p)
+		})
+		r.sim.MustRun()
+		return d
+	}
+	direct, ipc := measure(false), measure(true)
+	if ipc < 4*direct {
+		t.Fatalf("IPC path should be several times slower: direct=%v ipc=%v", direct, ipc)
+	}
+}
+
+func TestQuotaForcesDiskFallback(t *testing.T) {
+	r := newRig(t, 2, 8, func(c *ServiceConfig) { c.QuotaChunksPerTask = 2 })
+	data := pattern(8*r.svc.ChunkReal(), 9)
+	f := writeReadDelete(t, r, 0, data)
+	st := f.Stats()
+	if st.ByKind[LocalMem] != 2 || st.ByKind[RemoteMem] != 2 {
+		t.Fatalf("quota not enforced: %+v", st.ByKind)
+	}
+	if st.ByKind[LocalDisk] != 4 {
+		t.Fatalf("disk chunks = %d, want 4", st.ByKind[LocalDisk])
+	}
+}
+
+// Property: any payload size round-trips intact through the allocator
+// chain, and delete releases exactly the chunks that were allocated.
+func TestPropertyFileRoundTrip(t *testing.T) {
+	f := func(sizeRaw uint32, seed byte) bool {
+		r := newRig(t, 3, 3, nil)
+		size := int(sizeRaw % 200_000)
+		if size == 0 {
+			size = 1
+		}
+		data := pattern(size, seed)
+		ok := true
+		r.sim.Spawn("t", func(p *simtime.Proc) {
+			agent := r.svc.NewAgent(r.c.Nodes[0])
+			defer agent.Close()
+			file := agent.Create(p, "prop")
+			if err := file.Write(p, data); err != nil {
+				ok = false
+				return
+			}
+			if err := file.Close(p); err != nil {
+				ok = false
+				return
+			}
+			got := make([]byte, 0, size)
+			buf := make([]byte, 4096)
+			for {
+				n, err := file.Read(p, buf)
+				if err != nil {
+					ok = false
+					return
+				}
+				if n == 0 {
+					break
+				}
+				got = append(got, buf[:n]...)
+			}
+			if !bytes.Equal(got, data) {
+				ok = false
+			}
+			file.Delete(p)
+		})
+		r.sim.MustRun()
+		return ok && r.svc.TotalFreeChunks() == 9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPrefetchOverlapsRemoteReads(t *testing.T) {
+	measure := func(prefetch bool) simtime.Duration {
+		r := newRig(t, 3, 2, func(c *ServiceConfig) { c.Prefetch = prefetch })
+		var d simtime.Duration
+		r.sim.Spawn("t", func(p *simtime.Proc) {
+			agent := r.svc.NewAgent(r.c.Nodes[0])
+			defer agent.Close()
+			f := agent.Create(p, "pf")
+			if err := f.Write(p, pattern(6*r.svc.ChunkReal(), 1)); err != nil {
+				t.Errorf("write: %v", err)
+			}
+			if err := f.Close(p); err != nil {
+				t.Errorf("close: %v", err)
+			}
+			start := p.Now()
+			buf := make([]byte, 4096)
+			for {
+				n, err := f.Read(p, buf)
+				if err != nil {
+					t.Errorf("read: %v", err)
+					return
+				}
+				if n == 0 {
+					break
+				}
+				// Simulate per-buffer compute so prefetch has time to
+				// overlap the next chunk's network fetch.
+				p.Sleep(3 * simtime.Millisecond)
+			}
+			d = p.Now().Sub(start)
+			f.Delete(p)
+		})
+		r.sim.MustRun()
+		return d
+	}
+	with, without := measure(true), measure(false)
+	if with >= without {
+		t.Fatalf("prefetch should speed up remote reads: with=%v without=%v", with, without)
+	}
+}

@@ -1,0 +1,261 @@
+package sponge
+
+import (
+	"sync"
+
+	"spongefiles/internal/simtime"
+)
+
+// Pool is one node's sponge memory: a region shared by every task on the
+// machine, divided into fixed equal-size chunks plus per-chunk metadata
+// recording the owning task (§3.1.1). Following the paper's Java
+// implementation, which splits the region into multiple memory-mapped
+// segments to get past the 2 GB mmap limit, the pool is backed by
+// several slabs; allocation tries any segment.
+//
+// The pool is guarded by a single lock, like the paper's global spin
+// lock over the metadata region. Under the simulator the lock is
+// uncontended (one process runs at a time) and its cost is charged as
+// virtual time; the real-TCP transport in the wire subpackage shares the
+// same pool from OS threads, which is why a real mutex backs it.
+type Pool struct {
+	mu sync.Mutex
+
+	chunkReal int // real bytes per chunk
+	segments  [][]byte
+	owners    []TaskID // flat index across segments; zero = free
+	lengths   []int    // valid bytes per chunk
+	freeCount int
+
+	// quota limits chunks per owning task on this pool; 0 = unlimited.
+	quota int
+	held  map[TaskID]int
+
+	// lockCost is the virtual time to take the metadata lock.
+	lockCost simtime.Duration
+
+	// failed marks the hosting node as dead: all chunks are lost.
+	failed bool
+
+	// Stats.
+	allocs, allocFails, frees int64
+}
+
+// segmentChunks caps chunks per slab, mirroring the paper's ≤2 GB
+// memory-mapped segments (at the default real chunk size this keeps
+// slabs modest; what matters is that allocation spans segments).
+const segmentChunks = 1024
+
+// NewPool builds a pool of nchunks chunks of chunkReal bytes each.
+func NewPool(chunkReal, nchunks int) *Pool {
+	if chunkReal <= 0 || nchunks < 0 {
+		panic("sponge: bad pool geometry")
+	}
+	p := &Pool{
+		chunkReal: chunkReal,
+		owners:    make([]TaskID, nchunks),
+		lengths:   make([]int, nchunks),
+		freeCount: nchunks,
+		held:      make(map[TaskID]int),
+		lockCost:  2 * simtime.Microsecond,
+	}
+	// Segments are materialized lazily on first touch: the cluster may
+	// reserve sponge memory far larger than any one run ever fills.
+	p.segments = make([][]byte, (nchunks+segmentChunks-1)/segmentChunks)
+	return p
+}
+
+// SetQuota caps the number of chunks any single task may hold in this
+// pool (§3.1.4); 0 removes the cap.
+func (p *Pool) SetQuota(chunksPerTask int) {
+	p.mu.Lock()
+	p.quota = chunksPerTask
+	p.mu.Unlock()
+}
+
+// ChunkSize returns the real bytes per chunk.
+func (p *Pool) ChunkSize() int { return p.chunkReal }
+
+// Chunks returns the total chunk count.
+func (p *Pool) Chunks() int { return len(p.owners) }
+
+// Free returns the number of free chunks.
+func (p *Pool) Free() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.freeCount
+}
+
+// LockCost returns the virtual cost of one metadata-lock acquisition,
+// charged by callers running under the simulator.
+func (p *Pool) LockCost() simtime.Duration { return p.lockCost }
+
+// Alloc claims a free chunk for owner and returns its handle. It returns
+// ErrNoFreeChunk when the pool is exhausted and ErrQuotaExceeded when the
+// owner is over its per-node quota.
+func (p *Pool) Alloc(owner TaskID) (int, error) {
+	if owner.IsZero() {
+		panic("sponge: alloc with zero owner")
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.failed {
+		p.allocFails++
+		return 0, ErrChunkLost
+	}
+	if p.freeCount == 0 {
+		p.allocFails++
+		return 0, ErrNoFreeChunk
+	}
+	if p.quota > 0 && p.held[owner] >= p.quota {
+		p.allocFails++
+		return 0, ErrQuotaExceeded
+	}
+	for i, o := range p.owners {
+		if o.IsZero() {
+			p.owners[i] = owner
+			p.lengths[i] = 0
+			p.freeCount--
+			p.held[owner]++
+			p.allocs++
+			return i, nil
+		}
+	}
+	p.allocFails++
+	return 0, ErrNoFreeChunk
+}
+
+// chunkSlice returns the backing bytes of a handle, materializing the
+// segment on first touch.
+func (p *Pool) chunkSlice(h int) []byte {
+	seg := h / segmentChunks
+	if p.segments[seg] == nil {
+		n := len(p.owners) - seg*segmentChunks
+		if n > segmentChunks {
+			n = segmentChunks
+		}
+		p.segments[seg] = make([]byte, n*p.chunkReal)
+	}
+	off := (h % segmentChunks) * p.chunkReal
+	return p.segments[seg][off : off+p.chunkReal]
+}
+
+// Write stores data into the chunk (replacing previous contents). The
+// caller charges copy time; Write only moves the real bytes.
+func (p *Pool) Write(h int, data []byte) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if err := p.check(h); err != nil {
+		return err
+	}
+	if len(data) > p.chunkReal {
+		panic("sponge: chunk overflow")
+	}
+	copy(p.chunkSlice(h), data)
+	p.lengths[h] = len(data)
+	return nil
+}
+
+// Read copies the chunk's valid bytes into buf and returns the count.
+func (p *Pool) Read(h int, buf []byte) (int, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if err := p.check(h); err != nil {
+		return 0, err
+	}
+	n := copy(buf, p.chunkSlice(h)[:p.lengths[h]])
+	return n, nil
+}
+
+// Length returns the valid byte count of a chunk.
+func (p *Pool) Length(h int) (int, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if err := p.check(h); err != nil {
+		return 0, err
+	}
+	return p.lengths[h], nil
+}
+
+func (p *Pool) check(h int) error {
+	if p.failed {
+		return ErrChunkLost
+	}
+	if h < 0 || h >= len(p.owners) || p.owners[h].IsZero() {
+		return ErrNoFreeChunk
+	}
+	return nil
+}
+
+// FreeChunk returns a chunk to the pool. Freeing a free chunk is an error
+// caught by panic: it indicates double-free in the engine.
+func (p *Pool) FreeChunk(h int) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	owner := p.owners[h]
+	if owner.IsZero() {
+		panic("sponge: double free")
+	}
+	p.owners[h] = TaskID{}
+	p.lengths[h] = 0
+	p.freeCount++
+	p.frees++
+	if p.held[owner] <= 1 {
+		delete(p.held, owner)
+	} else {
+		p.held[owner]--
+	}
+}
+
+// Owners returns a snapshot of the distinct owners currently holding
+// chunks, with their chunk counts; used by the garbage collector.
+func (p *Pool) Owners() map[TaskID]int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make(map[TaskID]int, len(p.held))
+	for t, n := range p.held {
+		out[t] = n
+	}
+	return out
+}
+
+// FreeOwnedBy releases every chunk held by owner (garbage collection of
+// orphans) and returns how many were freed.
+func (p *Pool) FreeOwnedBy(owner TaskID) int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	freed := 0
+	for i, o := range p.owners {
+		if o == owner {
+			p.owners[i] = TaskID{}
+			p.lengths[i] = 0
+			p.freeCount++
+			p.frees++
+			freed++
+		}
+	}
+	delete(p.held, owner)
+	return freed
+}
+
+// Fail marks the pool's node as dead: every stored chunk is lost and all
+// further access returns ErrChunkLost.
+func (p *Pool) Fail() {
+	p.mu.Lock()
+	p.failed = true
+	p.mu.Unlock()
+}
+
+// Failed reports whether the pool's node has failed.
+func (p *Pool) Failed() bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.failed
+}
+
+// Stats returns (allocations, allocation failures, frees).
+func (p *Pool) Stats() (allocs, fails, frees int64) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.allocs, p.allocFails, p.frees
+}

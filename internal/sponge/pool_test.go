@@ -1,0 +1,192 @@
+package sponge
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func TestPoolAllocFreeCycle(t *testing.T) {
+	p := NewPool(1024, 4)
+	owner := TaskID{Node: 0, PID: 1}
+	var hs []int
+	for i := 0; i < 4; i++ {
+		h, err := p.Alloc(owner)
+		if err != nil {
+			t.Fatalf("alloc %d: %v", i, err)
+		}
+		hs = append(hs, h)
+	}
+	if _, err := p.Alloc(owner); err != ErrNoFreeChunk {
+		t.Fatalf("exhausted pool alloc err = %v", err)
+	}
+	if p.Free() != 0 {
+		t.Fatalf("free = %d", p.Free())
+	}
+	for _, h := range hs {
+		p.FreeChunk(h)
+	}
+	if p.Free() != 4 {
+		t.Fatalf("free after release = %d", p.Free())
+	}
+}
+
+func TestPoolWriteReadRoundTrip(t *testing.T) {
+	p := NewPool(64, 2)
+	owner := TaskID{Node: 1, PID: 7}
+	h, err := p.Alloc(owner)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := []byte("sponge chunk payload")
+	if err := p.Write(h, data); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 64)
+	n, err := p.Read(h, buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf[:n], data) {
+		t.Fatalf("read %q, want %q", buf[:n], data)
+	}
+	if l, _ := p.Length(h); l != len(data) {
+		t.Fatalf("length = %d", l)
+	}
+}
+
+func TestPoolSpansSegments(t *testing.T) {
+	// More chunks than one segment holds: allocation must span slabs.
+	n := segmentChunks + 10
+	p := NewPool(8, n)
+	owner := TaskID{Node: 0, PID: 1}
+	last := -1
+	for i := 0; i < n; i++ {
+		h, err := p.Alloc(owner)
+		if err != nil {
+			t.Fatalf("alloc %d: %v", i, err)
+		}
+		last = h
+	}
+	if err := p.Write(last, []byte{1, 2, 3}); err != nil {
+		t.Fatalf("write to second segment: %v", err)
+	}
+	buf := make([]byte, 8)
+	if n, _ := p.Read(last, buf); n != 3 || buf[0] != 1 {
+		t.Fatal("second-segment data corrupt")
+	}
+}
+
+func TestPoolQuota(t *testing.T) {
+	p := NewPool(8, 10)
+	p.SetQuota(3)
+	a, b := TaskID{Node: 0, PID: 1}, TaskID{Node: 0, PID: 2}
+	for i := 0; i < 3; i++ {
+		if _, err := p.Alloc(a); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := p.Alloc(a); err != ErrQuotaExceeded {
+		t.Fatalf("over-quota err = %v", err)
+	}
+	// Another task is unaffected.
+	if _, err := p.Alloc(b); err != nil {
+		t.Fatalf("other task blocked by quota: %v", err)
+	}
+}
+
+func TestPoolFreeOwnedBy(t *testing.T) {
+	p := NewPool(8, 10)
+	a, b := TaskID{Node: 0, PID: 1}, TaskID{Node: 1, PID: 9}
+	for i := 0; i < 4; i++ {
+		if _, err := p.Alloc(a); err != nil {
+			t.Fatal(err)
+		}
+	}
+	hb, _ := p.Alloc(b)
+	if got := p.FreeOwnedBy(a); got != 4 {
+		t.Fatalf("freed %d, want 4", got)
+	}
+	if p.Free() != 9 {
+		t.Fatalf("free = %d, want 9", p.Free())
+	}
+	// b's chunk survives.
+	if err := p.Write(hb, []byte{1}); err != nil {
+		t.Fatalf("surviving chunk broken: %v", err)
+	}
+	owners := p.Owners()
+	if len(owners) != 1 || owners[b] != 1 {
+		t.Fatalf("owners = %v", owners)
+	}
+}
+
+func TestPoolFailLosesChunks(t *testing.T) {
+	p := NewPool(8, 2)
+	h, _ := p.Alloc(TaskID{Node: 0, PID: 1})
+	p.Fail()
+	if _, err := p.Read(h, make([]byte, 8)); err != ErrChunkLost {
+		t.Fatalf("read after fail err = %v", err)
+	}
+	if err := p.Write(h, []byte{1}); err != ErrChunkLost {
+		t.Fatalf("write after fail err = %v", err)
+	}
+}
+
+func TestPoolDoubleFreePanics(t *testing.T) {
+	p := NewPool(8, 1)
+	h, _ := p.Alloc(TaskID{Node: 0, PID: 1})
+	p.FreeChunk(h)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("double free did not panic")
+		}
+	}()
+	p.FreeChunk(h)
+}
+
+// Property: any interleaving of allocs and frees keeps the invariant
+// free + held == total, and data written to a chunk reads back intact.
+func TestPropertyPoolInvariant(t *testing.T) {
+	f := func(ops []uint8) bool {
+		p := NewPool(16, 8)
+		owner := TaskID{Node: 0, PID: 1}
+		var live []int
+		payload := map[int]byte{}
+		for _, op := range ops {
+			if op%2 == 0 {
+				h, err := p.Alloc(owner)
+				if err == nil {
+					b := byte(op)
+					if p.Write(h, []byte{b}) != nil {
+						return false
+					}
+					live = append(live, h)
+					payload[h] = b
+				} else if len(live) != 8 {
+					return false // spurious failure
+				}
+			} else if len(live) > 0 {
+				h := live[int(op)%len(live)]
+				buf := make([]byte, 16)
+				n, err := p.Read(h, buf)
+				if err != nil || n != 1 || buf[0] != payload[h] {
+					return false
+				}
+				p.FreeChunk(h)
+				for i, v := range live {
+					if v == h {
+						live = append(live[:i], live[i+1:]...)
+						break
+					}
+				}
+			}
+			if p.Free()+len(live) != 8 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,223 @@
+package sponge
+
+import (
+	"spongefiles/internal/cluster"
+	"spongefiles/internal/simtime"
+)
+
+// Server is the per-node sponge server (§3.1.1): it shares the node's
+// sponge pool with local tasks, exports the pool's free space to the
+// memory tracker, serves allocation/read/write requests from remote
+// SpongeFiles, answers liveness queries about local tasks, and runs a
+// periodic garbage collection that frees chunks owned by dead tasks.
+type Server struct {
+	svc  *Service
+	node *cluster.Node
+	pool *Pool
+
+	// live is the node's task liveness registry: the execution framework
+	// registers a task's PID when it starts and unregisters it at exit.
+	live map[int64]bool
+
+	// Stats.
+	remoteAllocs, remoteAllocFails int64
+	gcFreed                        int64
+}
+
+func newServer(svc *Service, node *cluster.Node, pool *Pool) *Server {
+	return &Server{svc: svc, node: node, pool: pool, live: make(map[int64]bool)}
+}
+
+// Node returns the server's host.
+func (s *Server) Node() *cluster.Node { return s.node }
+
+// Pool returns the server's sponge memory.
+func (s *Server) Pool() *Pool { return s.pool }
+
+// RegisterTask marks a local task live; the MapReduce framework calls
+// this when it launches a task on the node.
+func (s *Server) RegisterTask(pid int64) { s.live[pid] = true }
+
+// UnregisterTask marks a local task dead (normal exit or kill).
+func (s *Server) UnregisterTask(pid int64) { delete(s.live, pid) }
+
+// TaskAlive reports whether a local PID is registered.
+func (s *Server) TaskAlive(pid int64) bool { return s.live[pid] }
+
+// FreeChunks returns the pool's current free chunk count (what the
+// server exports to the tracker).
+func (s *Server) FreeChunks() int { return s.pool.Free() }
+
+// --- Remote operations -------------------------------------------------
+//
+// Each remote operation is invoked by a task running on another node and
+// charges the network cost of the exchange: a small control message both
+// ways plus the data payload where applicable. Allocation and the first
+// write are combined in one exchange, as storing a chunk remotely in the
+// paper is "find a server with free space, write the data, get back a
+// handle".
+
+const ctlBytes = 256 // real bytes of a control message at scale 1:1
+
+// AllocWriteRemote allocates a chunk for owner and stores data in it, all
+// in one exchange from the caller's node. On success it returns the chunk
+// handle. On a full pool the caller has wasted only a control round trip
+// (the stale-free-list case of §3.1.1).
+func (s *Server) AllocWriteRemote(p *simtime.Proc, from *cluster.Node, owner TaskID, data []byte) (int, error) {
+	if s.pool.Failed() {
+		return 0, ErrChunkLost
+	}
+	// Control query first: "do you still have space?" — cheap when the
+	// tracker's information was stale.
+	s.svc.Cluster.RPC(p, from, s.node, ctlBytes, ctlBytes)
+	h, err := s.pool.Alloc(owner)
+	if err != nil {
+		s.remoteAllocFails++
+		return 0, err
+	}
+	// Data transfer; the server-side copy into the pool overlaps the
+	// trailing edge of the transfer and is not charged separately.
+	s.svc.Cluster.Transfer(p, from, s.node, len(data))
+	if err := s.pool.Write(h, data); err != nil {
+		s.pool.FreeChunk(h)
+		return 0, err
+	}
+	s.remoteAllocs++
+	return h, nil
+}
+
+// ReadRemote fetches a chunk's contents back to the caller's node.
+func (s *Server) ReadRemote(p *simtime.Proc, to *cluster.Node, h int, buf []byte) (int, error) {
+	if s.pool.Failed() {
+		return 0, ErrChunkLost
+	}
+	n, err := s.pool.Read(h, buf)
+	if err != nil {
+		return 0, err
+	}
+	// Request out, data back.
+	s.svc.Cluster.Transfer(p, to, s.node, ctlBytes)
+	s.svc.Cluster.Transfer(p, s.node, to, n)
+	return n, nil
+}
+
+// FreeRemote releases a chunk on behalf of a remote task.
+func (s *Server) FreeRemote(p *simtime.Proc, from *cluster.Node, h int) {
+	if s.pool.Failed() {
+		return
+	}
+	s.svc.Cluster.RPC(p, from, s.node, ctlBytes, ctlBytes)
+	s.pool.FreeChunk(h)
+}
+
+// --- Local (via-server) operations -------------------------------------
+//
+// Tasks normally use the shared-memory path for local chunks; going
+// through the local server costs extra message exchanges and copies
+// (Table 1 column 2). The microbenchmark measures this path, and it is
+// also what a non-collocated runtime would use.
+
+// AllocWriteLocalIPC allocates and writes a local chunk through the
+// sponge server's socket interface instead of shared memory.
+func (s *Server) AllocWriteLocalIPC(p *simtime.Proc, owner TaskID, data []byte) (int, error) {
+	if s.pool.Failed() {
+		return 0, ErrChunkLost
+	}
+	hw := s.svc.hardware()
+	p.Sleep(hw.IPCOpTime())
+	h, err := s.pool.Alloc(owner)
+	if err != nil {
+		return 0, err
+	}
+	// Two copies: task -> socket, socket -> pool.
+	s.node.ChargeCopy(p, len(data))
+	s.node.ChargeCopy(p, len(data))
+	if err := s.pool.Write(h, data); err != nil {
+		s.pool.FreeChunk(h)
+		return 0, err
+	}
+	return h, nil
+}
+
+// ReadLocalIPC reads a local chunk through the server's socket interface.
+func (s *Server) ReadLocalIPC(p *simtime.Proc, h int, buf []byte) (int, error) {
+	if s.pool.Failed() {
+		return 0, ErrChunkLost
+	}
+	hw := s.svc.hardware()
+	p.Sleep(hw.IPCOpTime())
+	n, err := s.pool.Read(h, buf)
+	if err != nil {
+		return 0, err
+	}
+	s.node.ChargeCopy(p, n)
+	s.node.ChargeCopy(p, n)
+	return n, nil
+}
+
+// --- Garbage collection -------------------------------------------------
+
+// gcSweep frees chunks whose owner task is dead. Liveness of local owners
+// is checked directly; liveness of remote owners is delegated to the
+// owner node's server (§3.1.3), costing a control round trip.
+func (s *Server) gcSweep(p *simtime.Proc) int {
+	freed := 0
+	for owner := range s.pool.Owners() {
+		alive := false
+		if owner.Node == s.node.ID {
+			alive = s.TaskAlive(owner.PID)
+		} else if owner.Node >= 0 && owner.Node < len(s.svc.Servers) {
+			peer := s.svc.Servers[owner.Node]
+			s.svc.Cluster.RPC(p, s.node, peer.node, ctlBytes, ctlBytes)
+			alive = peer.TaskAlive(owner.PID)
+		}
+		if !alive {
+			n := s.pool.FreeOwnedBy(owner)
+			freed += n
+			s.gcFreed += int64(n)
+		}
+	}
+	return freed
+}
+
+// quotaSweep finds tasks holding more chunks than their per-node quota
+// and takes the corrective action of §3.1.4: reclaim the space and
+// report the offender (the runtime typically kills it). Alloc already
+// enforces the quota inline, so sweeps only catch violations introduced
+// by configuration changes or bugs.
+func (s *Server) quotaSweep() int {
+	quota := s.svc.Config.QuotaChunksPerTask
+	if quota <= 0 {
+		return 0
+	}
+	reclaimed := 0
+	for owner, n := range s.pool.Owners() {
+		if n > quota {
+			reclaimed += s.pool.FreeOwnedBy(owner)
+			if s.svc.OnQuotaViolation != nil {
+				s.svc.OnQuotaViolation(owner)
+			}
+		}
+	}
+	return reclaimed
+}
+
+// gcLoop is the server's periodic garbage collection daemon.
+func (s *Server) gcLoop(p *simtime.Proc) {
+	for {
+		p.Sleep(s.svc.Config.GCInterval)
+		if s.pool.Failed() {
+			return
+		}
+		s.gcSweep(p)
+		s.quotaSweep()
+	}
+}
+
+// GCFreed returns the total chunks reclaimed by garbage collection.
+func (s *Server) GCFreed() int64 { return s.gcFreed }
+
+// RemoteAllocStats returns (successful remote allocations, failures).
+func (s *Server) RemoteAllocStats() (ok, fail int64) {
+	return s.remoteAllocs, s.remoteAllocFails
+}

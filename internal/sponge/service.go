@@ -1,0 +1,193 @@
+package sponge
+
+import (
+	"fmt"
+
+	"spongefiles/internal/cluster"
+	"spongefiles/internal/media"
+	"spongefiles/internal/simtime"
+)
+
+// ServiceConfig tunes a cluster's sponge deployment.
+type ServiceConfig struct {
+	// ChunkVirtual is the fixed in-memory chunk size in virtual bytes.
+	// The paper picks 1 MB to balance internal fragmentation against
+	// per-chunk setup cost (§3.2).
+	ChunkVirtual int64
+	// PollInterval is how often the tracker polls sponge servers (§3.1.1
+	// suggests every second); GCInterval is how often servers sweep for
+	// orphaned chunks.
+	PollInterval simtime.Duration
+	GCInterval   simtime.Duration
+	// AsyncWriteDepth bounds outstanding asynchronous chunk writes per
+	// file (double buffering); 0 disables async writes entirely.
+	AsyncWriteDepth int
+	// Prefetch enables read-ahead of the next non-local chunk.
+	Prefetch bool
+	// Affinity prefers remote servers the task already stores chunks on,
+	// shrinking its failure surface (§3.1.1).
+	Affinity bool
+	// RackLocalOnly restricts remote spilling to the task's rack.
+	RackLocalOnly bool
+	// RemoteDisabled turns remote-memory allocation off entirely: files
+	// go local memory → disk → remote FS (Figure 6's "local sponge
+	// only" configuration).
+	RemoteDisabled bool
+	// QuotaChunksPerTask caps chunks per task per node; 0 = unlimited.
+	QuotaChunksPerTask int
+	// LocalDiskEnabled allows the local-disk fallback; disable to force
+	// the RemoteStore path in tests.
+	LocalDiskEnabled bool
+	// Remote is the distributed-filesystem last resort; may be nil.
+	Remote RemoteStore
+}
+
+// DefaultConfig returns the paper's configuration.
+func DefaultConfig() ServiceConfig {
+	return ServiceConfig{
+		ChunkVirtual:     1 * media.MB,
+		PollInterval:     1 * simtime.Second,
+		GCInterval:       30 * simtime.Second,
+		AsyncWriteDepth:  2,
+		Prefetch:         true,
+		Affinity:         true,
+		RackLocalOnly:    true,
+		LocalDiskEnabled: true,
+	}
+}
+
+// Service is a running sponge deployment: one pool and server per node
+// plus the tracker, with their daemons started on the cluster's
+// simulation.
+type Service struct {
+	Cluster *cluster.Cluster
+	Config  ServiceConfig
+	Servers []*Server
+	Tracker *Tracker
+
+	chunkReal int
+	nextPID   int64
+
+	// dead marks failed nodes; failovers counts tracker re-elections.
+	dead      []bool
+	failovers int
+
+	// OnQuotaViolation, when set, is invoked by the quota sweep with
+	// each task found holding more than its per-node quota (§3.1.4's
+	// corrective action — e.g. the engine kills the task).
+	OnQuotaViolation func(TaskID)
+}
+
+// Start deploys sponge servers on every node of the cluster (pool size
+// taken from the cluster's SpongeMemory carve-up) and the tracker on node
+// 0, and begins their daemons. The tracker's first poll happens
+// immediately so allocation works from virtual time zero.
+func Start(c *cluster.Cluster, cfg ServiceConfig) *Service {
+	if cfg.ChunkVirtual <= 0 {
+		cfg.ChunkVirtual = 1 * media.MB
+	}
+	if cfg.PollInterval <= 0 {
+		cfg.PollInterval = simtime.Second
+	}
+	if cfg.GCInterval <= 0 {
+		cfg.GCInterval = 30 * simtime.Second
+	}
+	s := &Service{
+		Cluster:   c,
+		Config:    cfg,
+		chunkReal: c.Cfg.R(cfg.ChunkVirtual),
+		dead:      make([]bool, len(c.Nodes)),
+	}
+	chunksPerNode := int(c.Cfg.SpongeMemory / cfg.ChunkVirtual)
+	for _, n := range c.Nodes {
+		pool := NewPool(s.chunkReal, chunksPerNode)
+		if cfg.QuotaChunksPerTask > 0 {
+			pool.SetQuota(cfg.QuotaChunksPerTask)
+		}
+		srv := newServer(s, n, pool)
+		s.Servers = append(s.Servers, srv)
+		c.Sim.SpawnDaemon(fmt.Sprintf("spongegc@%s", n.Name()), srv.gcLoop)
+	}
+	s.Tracker = newTracker(s, c.Nodes[0])
+	// The service is deployed long before any task runs; seed the
+	// tracker's snapshot so allocation works from virtual time zero
+	// instead of racing the first poll.
+	for i, srv := range s.Servers {
+		s.Tracker.snapshot[i] = srv.FreeChunks()
+	}
+	c.Sim.SpawnDaemon("tracker", s.trackerLoop)
+	c.Sim.SpawnDaemon("tracker.watchdog", s.watchdogLoop)
+	return s
+}
+
+func (s *Service) hardware() media.Hardware { return s.Cluster.Cfg.Hardware }
+
+// ChunkReal returns the real payload bytes per chunk.
+func (s *Service) ChunkReal() int { return s.chunkReal }
+
+// TotalFreeChunks sums live free chunks across all servers (ground truth,
+// not the tracker's stale view).
+func (s *Service) TotalFreeChunks() int {
+	total := 0
+	for _, srv := range s.Servers {
+		total += srv.FreeChunks()
+	}
+	return total
+}
+
+// Agent is a task's handle on the sponge service: it carries the task's
+// identity and node, tracks which remote servers the task already uses
+// (for affinity), and creates SpongeFiles.
+type Agent struct {
+	svc  *Service
+	node *cluster.Node
+	task TaskID
+
+	// usedNodes is the set of remote nodes holding this task's chunks.
+	usedNodes map[int]bool
+
+	// UseLocalServerIPC routes local-chunk traffic through the sponge
+	// server's socket interface instead of shared memory; the
+	// microbenchmark's second column measures this path.
+	UseLocalServerIPC bool
+
+	// cipher, when non-nil, encrypts chunk payloads before they leave
+	// the task and decrypts them on read-back (§3.1.4: in a cluster
+	// without access control, "tasks can encrypt their chunks").
+	cipher *chunkCipher
+
+	// Totals across this task's files.
+	BytesSpilled  int64
+	ChunksSpilled int64
+}
+
+// NewAgent registers a new task (fresh PID) on the node and returns its
+// agent.
+func (s *Service) NewAgent(node *cluster.Node) *Agent {
+	s.nextPID++
+	t := TaskID{Node: node.ID, PID: s.nextPID}
+	s.Servers[node.ID].RegisterTask(t.PID)
+	return &Agent{
+		svc:       s,
+		node:      node,
+		task:      t,
+		usedNodes: make(map[int]bool),
+	}
+}
+
+// Task returns the agent's task identity.
+func (a *Agent) Task() TaskID { return a.task }
+
+// Node returns the node the task runs on.
+func (a *Agent) Node() *cluster.Node { return a.node }
+
+// MachinesUsed reports how many distinct machines hold the task's data
+// (the failure-surface metric of §4.3): its own node plus remote nodes
+// it spilled to.
+func (a *Agent) MachinesUsed() int { return 1 + len(a.usedNodes) }
+
+// Close unregisters the task from its node's liveness registry. Files
+// not deleted by then become orphans for the garbage collector.
+func (a *Agent) Close() {
+	a.svc.Servers[a.node.ID].UnregisterTask(a.task.PID)
+}

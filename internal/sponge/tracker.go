@@ -1,0 +1,105 @@
+package sponge
+
+import (
+	"sort"
+
+	"spongefiles/internal/cluster"
+	"spongefiles/internal/simtime"
+)
+
+// Tracker is the cluster's memory tracking server (§3.1.1): a stateless
+// daemon, hosted on one node, that periodically polls every sponge
+// server for free space and answers SpongeFile queries with the latest
+// (possibly stale) list of servers that had free memory. Staleness is the
+// design's deliberate trade: lightweight allocation over a perfectly
+// consistent global view.
+type Tracker struct {
+	svc  *Service
+	node *cluster.Node
+
+	// snapshot is the free-chunk count per node as of the last poll.
+	snapshot []int
+	lastPoll simtime.Time
+	polls    int64
+	queries  int64
+}
+
+func newTracker(svc *Service, node *cluster.Node) *Tracker {
+	return &Tracker{svc: svc, node: node, snapshot: make([]int, len(svc.Cluster.Nodes))}
+}
+
+// Node returns the tracker's host.
+func (t *Tracker) Node() *cluster.Node { return t.node }
+
+// trackerLoop is the polling daemon. It drives whatever tracker is
+// currently installed, so a failover (Service.electTracker) transfers
+// the loop to the replacement transparently; while the tracker's own
+// host is down it idles and lets the watchdog elect a successor.
+func (s *Service) trackerLoop(p *simtime.Proc) {
+	for {
+		p.Sleep(s.Config.PollInterval)
+		t := s.Tracker
+		if s.dead[t.node.ID] {
+			continue
+		}
+		t.pollOnce(p)
+	}
+}
+
+// pollOnce refreshes the snapshot immediately, skipping dead servers.
+func (t *Tracker) pollOnce(p *simtime.Proc) {
+	for i, srv := range t.svc.Servers {
+		if t.svc.dead[i] {
+			t.snapshot[i] = 0
+			continue
+		}
+		t.svc.Cluster.RPC(p, t.node, srv.node, ctlBytes, ctlBytes)
+		t.snapshot[i] = srv.FreeChunks()
+	}
+	t.lastPoll = p.Now()
+	t.polls++
+}
+
+// queryTimeout is what a task waits before giving up on a dead tracker.
+const queryTimeout = 100 * simtime.Millisecond
+
+// FreeEntry is one row of the tracker's answer.
+type FreeEntry struct {
+	Node int
+	Free int
+}
+
+// Query returns the servers that had free memory at the last poll,
+// sorted by free space (descending, node ID tiebreak), charging the
+// control round trip from the asking node. The answer can be stale by up
+// to PollInterval; callers must tolerate allocation failures.
+func (t *Tracker) Query(p *simtime.Proc, from *cluster.Node) []FreeEntry {
+	if t.svc.dead[t.node.ID] {
+		// Dead tracker: the request times out and the file proceeds
+		// with no remote candidates (it will spill to disk until the
+		// watchdog elects a replacement).
+		p.Sleep(queryTimeout)
+		return nil
+	}
+	t.svc.Cluster.RPC(p, from, t.node, ctlBytes, ctlBytes)
+	t.queries++
+	var out []FreeEntry
+	for node, free := range t.snapshot {
+		if free > 0 {
+			out = append(out, FreeEntry{Node: node, Free: free})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Free != out[j].Free {
+			return out[i].Free > out[j].Free
+		}
+		return out[i].Node < out[j].Node
+	})
+	return out
+}
+
+// Stats returns (polls completed, queries served).
+func (t *Tracker) Stats() (polls, queries int64) { return t.polls, t.queries }
+
+// LastPoll returns when the snapshot was last refreshed.
+func (t *Tracker) LastPoll() simtime.Time { return t.lastPoll }

@@ -1,0 +1,39 @@
+package wire
+
+import (
+	"testing"
+
+	"spongefiles/internal/sponge"
+)
+
+// Wall-clock benchmark of the real TCP sponge protocol over loopback.
+
+func BenchmarkWireAllocWriteReadFree(b *testing.B) {
+	pool := sponge.NewPool(1<<16, 8)
+	srv, err := Serve(pool, "127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer srv.Close()
+	c, err := Dial(srv.Addr())
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer c.Close()
+	owner := sponge.TaskID{Node: 1, PID: 1}
+	data := make([]byte, 1<<16)
+	b.SetBytes(int64(len(data)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h, err := c.AllocWrite(owner, data)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := c.Read(h); err != nil {
+			b.Fatal(err)
+		}
+		if err := c.Free(h); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,133 @@
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+	"net"
+	"sync"
+
+	"spongefiles/internal/sponge"
+)
+
+// Client talks to one remote sponge server. It is safe for concurrent
+// use; requests serialize over a single connection.
+type Client struct {
+	mu        sync.Mutex
+	conn      net.Conn
+	chunkSize int
+}
+
+// Dial connects to a sponge server and learns its chunk size.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	c := &Client{conn: conn, chunkSize: 1 << 20}
+	if _, _, size, err := c.Stat(); err == nil {
+		c.chunkSize = size
+	}
+	return c, nil
+}
+
+// Close closes the connection.
+func (c *Client) Close() error { return c.conn.Close() }
+
+// roundTrip sends one request and reads the response body.
+func (c *Client) roundTrip(req []byte) ([]byte, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := writeFrame(c.conn, req); err != nil {
+		return nil, err
+	}
+	resp, err := readFrame(c.conn, c.chunkSize+frameSlack)
+	if err != nil {
+		return nil, err
+	}
+	if len(resp) == 0 {
+		return nil, fmt.Errorf("wire: empty response")
+	}
+	if err := statusErr(resp[0]); err != nil {
+		return nil, err
+	}
+	return resp[1:], nil
+}
+
+// AllocWrite allocates a chunk for owner and stores data in it, in one
+// exchange, returning the chunk handle.
+func (c *Client) AllocWrite(owner sponge.TaskID, data []byte) (int, error) {
+	req := make([]byte, 13, 13+len(data))
+	req[0] = OpAllocWrite
+	binary.LittleEndian.PutUint32(req[1:5], uint32(owner.Node))
+	binary.LittleEndian.PutUint64(req[5:13], uint64(owner.PID))
+	req = append(req, data...)
+	resp, err := c.roundTrip(req)
+	if err != nil {
+		return 0, err
+	}
+	if len(resp) != 4 {
+		return 0, fmt.Errorf("wire: bad alloc response")
+	}
+	return int(binary.LittleEndian.Uint32(resp)), nil
+}
+
+// Read fetches a chunk's contents.
+func (c *Client) Read(handle int) ([]byte, error) {
+	req := make([]byte, 5)
+	req[0] = OpRead
+	binary.LittleEndian.PutUint32(req[1:], uint32(handle))
+	return c.roundTrip(req)
+}
+
+// Free releases a chunk.
+func (c *Client) Free(handle int) error {
+	req := make([]byte, 5)
+	req[0] = OpFree
+	binary.LittleEndian.PutUint32(req[1:], uint32(handle))
+	_, err := c.roundTrip(req)
+	return err
+}
+
+// Stat returns (free chunks, total chunks, chunk size).
+func (c *Client) Stat() (free, total, chunkSize int, err error) {
+	resp, err := c.roundTrip([]byte{OpStat})
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	if len(resp) != 12 {
+		return 0, 0, 0, fmt.Errorf("wire: bad stat response")
+	}
+	return int(binary.LittleEndian.Uint32(resp[0:4])),
+		int(binary.LittleEndian.Uint32(resp[4:8])),
+		int(binary.LittleEndian.Uint32(resp[8:12])), nil
+}
+
+// Ping reports whether pid is alive on the server's node.
+func (c *Client) Ping(pid uint64) (bool, error) {
+	req := make([]byte, 9)
+	req[0] = OpPing
+	binary.LittleEndian.PutUint64(req[1:], pid)
+	resp, err := c.roundTrip(req)
+	if err != nil {
+		return false, err
+	}
+	return len(resp) == 1 && resp[0] == 1, nil
+}
+
+// Register marks pid live on the server's node.
+func (c *Client) Register(pid uint64) error {
+	return c.pidOp(OpRegister, pid)
+}
+
+// Unregister marks pid dead on the server's node.
+func (c *Client) Unregister(pid uint64) error {
+	return c.pidOp(OpUnregister, pid)
+}
+
+func (c *Client) pidOp(op byte, pid uint64) error {
+	req := make([]byte, 9)
+	req[0] = op
+	binary.LittleEndian.PutUint64(req[1:], pid)
+	_, err := c.roundTrip(req)
+	return err
+}

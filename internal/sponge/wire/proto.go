@@ -1,0 +1,106 @@
+// Package wire implements the sponge server's network protocol over real
+// TCP: the interface a production deployment exposes so remote tasks can
+// allocate, write, read and free chunks in a node's sponge memory, query
+// free space, and check task liveness (the paper's sponge server,
+// §3.1.1, as an actual daemon rather than a simulated one).
+//
+// The protocol is a simple length-prefixed binary request/response
+// exchange; one request is in flight per connection at a time.
+//
+//	frame  := length(u32 LE, bytes after this field) body
+//	request  := op(u8) payload
+//	response := status(u8) payload
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Op codes.
+const (
+	// OpAllocWrite allocates a chunk for a task and stores its data in
+	// one exchange. Payload: owner node (u32), owner pid (u64), data.
+	// Response payload: handle (u32).
+	OpAllocWrite byte = iota + 1
+	// OpRead fetches a chunk. Payload: handle (u32). Response: data.
+	OpRead
+	// OpFree releases a chunk. Payload: handle (u32).
+	OpFree
+	// OpStat asks for pool state. Response: free chunks (u32), total
+	// chunks (u32), chunk size (u32).
+	OpStat
+	// OpPing checks task liveness (garbage collection, §3.1.3).
+	// Payload: pid (u64). Response: alive (u8).
+	OpPing
+	// OpRegister marks a task live on this node. Payload: pid (u64).
+	OpRegister
+	// OpUnregister marks a task dead. Payload: pid (u64).
+	OpUnregister
+)
+
+// Status codes.
+const (
+	StatusOK byte = iota
+	StatusNoFreeChunk
+	StatusQuotaExceeded
+	StatusBadRequest
+	StatusChunkLost
+)
+
+// Errors mapped from response statuses.
+var (
+	ErrNoFreeChunk   = errors.New("wire: no free chunk")
+	ErrQuotaExceeded = errors.New("wire: quota exceeded")
+	ErrChunkLost     = errors.New("wire: chunk lost")
+	ErrBadRequest    = errors.New("wire: bad request")
+)
+
+// maxFrame bounds a frame to chunk size plus slack; connections sending
+// more are dropped.
+const frameSlack = 64
+
+// writeFrame sends one length-prefixed frame.
+func writeFrame(w io.Writer, body []byte) error {
+	var hdr [4]byte
+	binary.LittleEndian.PutUint32(hdr[:], uint32(len(body)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(body)
+	return err
+}
+
+// readFrame receives one frame, enforcing the size limit.
+func readFrame(r io.Reader, limit int) ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.LittleEndian.Uint32(hdr[:])
+	if int(n) > limit {
+		return nil, fmt.Errorf("wire: frame of %d bytes exceeds limit %d", n, limit)
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return nil, err
+	}
+	return body, nil
+}
+
+func statusErr(status byte) error {
+	switch status {
+	case StatusOK:
+		return nil
+	case StatusNoFreeChunk:
+		return ErrNoFreeChunk
+	case StatusQuotaExceeded:
+		return ErrQuotaExceeded
+	case StatusChunkLost:
+		return ErrChunkLost
+	default:
+		return ErrBadRequest
+	}
+}

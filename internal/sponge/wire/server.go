@@ -1,0 +1,199 @@
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"log"
+	"net"
+	"sync"
+
+	"spongefiles/internal/sponge"
+)
+
+// Server serves a node's sponge pool over TCP. The pool is the same
+// structure the in-process allocators use; its internal lock makes the
+// two access paths (shared memory within the process, sockets across
+// machines) safe together, exactly as the paper's mmap-plus-daemon
+// design intends.
+type Server struct {
+	pool *sponge.Pool
+	ln   net.Listener
+
+	mu   sync.Mutex
+	live map[uint64]bool
+
+	wg     sync.WaitGroup
+	closed chan struct{}
+}
+
+// Serve starts a server for pool on addr (e.g. "127.0.0.1:0") and
+// returns once it is listening.
+func Serve(pool *sponge.Pool, addr string) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{
+		pool:   pool,
+		ln:     ln,
+		live:   make(map[uint64]bool),
+		closed: make(chan struct{}),
+	}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr returns the listening address.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close stops the listener and waits for connection handlers.
+func (s *Server) Close() error {
+	close(s.closed)
+	err := s.ln.Close()
+	s.wg.Wait()
+	return err
+}
+
+// TaskAlive reports whether a pid is registered live on this node.
+func (s *Server) TaskAlive(pid uint64) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.live[pid]
+}
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			select {
+			case <-s.closed:
+				return
+			default:
+				log.Printf("wire: accept: %v", err)
+				return
+			}
+		}
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			defer conn.Close()
+			s.handle(conn)
+		}()
+	}
+}
+
+func (s *Server) handle(conn net.Conn) {
+	limit := s.pool.ChunkSize() + frameSlack
+	for {
+		req, err := readFrame(conn, limit)
+		if err != nil {
+			return // EOF or protocol violation: drop the connection
+		}
+		resp := s.dispatch(req)
+		if err := writeFrame(conn, resp); err != nil {
+			return
+		}
+	}
+}
+
+// dispatch executes one request and builds the response frame.
+func (s *Server) dispatch(req []byte) []byte {
+	if len(req) < 1 {
+		return []byte{StatusBadRequest}
+	}
+	op, payload := req[0], req[1:]
+	switch op {
+	case OpAllocWrite:
+		if len(payload) < 12 {
+			return []byte{StatusBadRequest}
+		}
+		owner := sponge.TaskID{
+			Node: int(binary.LittleEndian.Uint32(payload[0:4])),
+			PID:  int64(binary.LittleEndian.Uint64(payload[4:12])),
+		}
+		if owner.IsZero() {
+			// The zero ID is the pool's free-chunk marker; never accept
+			// it from the network.
+			return []byte{StatusBadRequest}
+		}
+		data := payload[12:]
+		h, err := s.pool.Alloc(owner)
+		if err != nil {
+			return []byte{errStatus(err)}
+		}
+		if err := s.pool.Write(h, data); err != nil {
+			s.pool.FreeChunk(h)
+			return []byte{errStatus(err)}
+		}
+		out := make([]byte, 5)
+		out[0] = StatusOK
+		binary.LittleEndian.PutUint32(out[1:], uint32(h))
+		return out
+	case OpRead:
+		if len(payload) != 4 {
+			return []byte{StatusBadRequest}
+		}
+		h := int(binary.LittleEndian.Uint32(payload))
+		buf := make([]byte, 1+s.pool.ChunkSize())
+		n, err := s.pool.Read(h, buf[1:])
+		if err != nil {
+			return []byte{errStatus(err)}
+		}
+		buf[0] = StatusOK
+		return buf[:1+n]
+	case OpFree:
+		if len(payload) != 4 {
+			return []byte{StatusBadRequest}
+		}
+		h := int(binary.LittleEndian.Uint32(payload))
+		if _, err := s.pool.Length(h); err != nil {
+			return []byte{errStatus(err)}
+		}
+		s.pool.FreeChunk(h)
+		return []byte{StatusOK}
+	case OpStat:
+		out := make([]byte, 13)
+		out[0] = StatusOK
+		binary.LittleEndian.PutUint32(out[1:5], uint32(s.pool.Free()))
+		binary.LittleEndian.PutUint32(out[5:9], uint32(s.pool.Chunks()))
+		binary.LittleEndian.PutUint32(out[9:13], uint32(s.pool.ChunkSize()))
+		return out
+	case OpPing:
+		if len(payload) != 8 {
+			return []byte{StatusBadRequest}
+		}
+		alive := byte(0)
+		if s.TaskAlive(binary.LittleEndian.Uint64(payload)) {
+			alive = 1
+		}
+		return []byte{StatusOK, alive}
+	case OpRegister, OpUnregister:
+		if len(payload) != 8 {
+			return []byte{StatusBadRequest}
+		}
+		pid := binary.LittleEndian.Uint64(payload)
+		s.mu.Lock()
+		if op == OpRegister {
+			s.live[pid] = true
+		} else {
+			delete(s.live, pid)
+		}
+		s.mu.Unlock()
+		return []byte{StatusOK}
+	}
+	return []byte{StatusBadRequest}
+}
+
+func errStatus(err error) byte {
+	switch {
+	case errors.Is(err, sponge.ErrNoFreeChunk):
+		return StatusNoFreeChunk
+	case errors.Is(err, sponge.ErrQuotaExceeded):
+		return StatusQuotaExceeded
+	case errors.Is(err, sponge.ErrChunkLost):
+		return StatusChunkLost
+	}
+	return StatusBadRequest
+}

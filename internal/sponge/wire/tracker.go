@@ -1,0 +1,130 @@
+package wire
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// Tracker is the memory tracking server over real TCP: it periodically
+// polls a set of sponge servers (via their Stat operation) and answers
+// free-list queries from its in-memory snapshot, exactly like the
+// simulated tracker but against live daemons. It is stateless — restart
+// it anywhere and the first poll rebuilds its view (§3.1.1).
+type Tracker struct {
+	interval time.Duration
+
+	mu      sync.Mutex
+	addrs   []string
+	free    map[string]int
+	lastErr map[string]error
+
+	stop chan struct{}
+	done chan struct{}
+}
+
+// NewTracker creates a tracker polling the given sponge-server addresses
+// every interval, and starts its poll loop. The first poll happens
+// synchronously so Query is immediately useful.
+func NewTracker(addrs []string, interval time.Duration) *Tracker {
+	if interval <= 0 {
+		interval = time.Second
+	}
+	t := &Tracker{
+		interval: interval,
+		addrs:    append([]string(nil), addrs...),
+		free:     make(map[string]int),
+		lastErr:  make(map[string]error),
+		stop:     make(chan struct{}),
+		done:     make(chan struct{}),
+	}
+	t.pollOnce()
+	go t.loop()
+	return t
+}
+
+// Close stops the poll loop.
+func (t *Tracker) Close() {
+	close(t.stop)
+	<-t.done
+}
+
+func (t *Tracker) loop() {
+	defer close(t.done)
+	ticker := time.NewTicker(t.interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-t.stop:
+			return
+		case <-ticker.C:
+			t.pollOnce()
+		}
+	}
+}
+
+func (t *Tracker) pollOnce() {
+	t.mu.Lock()
+	addrs := append([]string(nil), t.addrs...)
+	t.mu.Unlock()
+	for _, addr := range addrs {
+		free, err := statServer(addr)
+		t.mu.Lock()
+		if err != nil {
+			t.lastErr[addr] = err
+			t.free[addr] = 0
+		} else {
+			delete(t.lastErr, addr)
+			t.free[addr] = free
+		}
+		t.mu.Unlock()
+	}
+}
+
+func statServer(addr string) (int, error) {
+	c, err := Dial(addr)
+	if err != nil {
+		return 0, err
+	}
+	defer c.Close()
+	free, _, _, err := c.Stat()
+	return free, err
+}
+
+// TrackerEntry is one row of the tracker's answer.
+type TrackerEntry struct {
+	Addr string
+	Free int
+}
+
+// Query returns servers that had free chunks at the last poll, most
+// free first. The answer can be stale by up to the poll interval.
+func (t *Tracker) Query() []TrackerEntry {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var out []TrackerEntry
+	for addr, free := range t.free {
+		if free > 0 {
+			out = append(out, TrackerEntry{Addr: addr, Free: free})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Free != out[j].Free {
+			return out[i].Free > out[j].Free
+		}
+		return out[i].Addr < out[j].Addr
+	})
+	return out
+}
+
+// Unreachable returns the addresses whose last poll failed.
+func (t *Tracker) Unreachable() []string {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var out []string
+	for addr := range t.lastErr {
+		out = append(out, addr)
+	}
+	sort.Strings(out)
+	return out
+}

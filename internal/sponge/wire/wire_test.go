@@ -1,0 +1,170 @@
+package wire
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+
+	"spongefiles/internal/sponge"
+)
+
+func startServer(t *testing.T, chunkSize, chunks int) (*Server, *Client) {
+	t.Helper()
+	pool := sponge.NewPool(chunkSize, chunks)
+	srv, err := Serve(pool, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	c, err := Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	return srv, c
+}
+
+func TestAllocWriteReadFree(t *testing.T) {
+	_, c := startServer(t, 4096, 4)
+	owner := sponge.TaskID{Node: 3, PID: 77}
+	data := bytes.Repeat([]byte("sponge"), 100)
+	h, err := c.AllocWrite(owner, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.Read(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatalf("read %d bytes, want %d", len(got), len(data))
+	}
+	if err := c.Free(h); err != nil {
+		t.Fatal(err)
+	}
+	free, total, size, err := c.Stat()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if free != 4 || total != 4 || size != 4096 {
+		t.Fatalf("stat = %d/%d/%d", free, total, size)
+	}
+}
+
+func TestExhaustionReturnsNoFreeChunk(t *testing.T) {
+	_, c := startServer(t, 128, 2)
+	owner := sponge.TaskID{Node: 1, PID: 1}
+	if _, err := c.AllocWrite(owner, []byte("a")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.AllocWrite(owner, []byte("b")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.AllocWrite(owner, []byte("c")); err != ErrNoFreeChunk {
+		t.Fatalf("err = %v, want ErrNoFreeChunk", err)
+	}
+}
+
+func TestFullChunkPayload(t *testing.T) {
+	const size = 1 << 16
+	_, c := startServer(t, size, 1)
+	data := make([]byte, size)
+	for i := range data {
+		data[i] = byte(i * 31)
+	}
+	h, err := c.AllocWrite(sponge.TaskID{Node: 0, PID: 9}, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.Read(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("full-chunk payload corrupt")
+	}
+}
+
+func TestLivenessProtocol(t *testing.T) {
+	_, c := startServer(t, 128, 1)
+	alive, err := c.Ping(42)
+	if err != nil || alive {
+		t.Fatalf("unknown pid alive=%v err=%v", alive, err)
+	}
+	if err := c.Register(42); err != nil {
+		t.Fatal(err)
+	}
+	if alive, _ := c.Ping(42); !alive {
+		t.Fatal("registered pid should be alive")
+	}
+	if err := c.Unregister(42); err != nil {
+		t.Fatal(err)
+	}
+	if alive, _ := c.Ping(42); alive {
+		t.Fatal("unregistered pid should be dead")
+	}
+}
+
+func TestConcurrentClients(t *testing.T) {
+	srv, _ := startServer(t, 1024, 64)
+	var wg sync.WaitGroup
+	errs := make(chan error, 8)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			c, err := Dial(srv.Addr())
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer c.Close()
+			owner := sponge.TaskID{Node: g, PID: int64(g) + 1}
+			for i := 0; i < 20; i++ {
+				data := []byte(fmt.Sprintf("g%d-i%d", g, i))
+				h, err := c.AllocWrite(owner, data)
+				if err != nil {
+					errs <- err
+					return
+				}
+				got, err := c.Read(h)
+				if err != nil || !bytes.Equal(got, data) {
+					errs <- fmt.Errorf("g%d i%d corrupt (%v)", g, i, err)
+					return
+				}
+				if err := c.Free(h); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+func TestOversizedFrameDropsConnection(t *testing.T) {
+	srv, _ := startServer(t, 1024, 4)
+	c, err := Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	// A payload bigger than a chunk exceeds the server's frame limit;
+	// the server drops the connection rather than buffering it.
+	big := make([]byte, 64<<10)
+	if _, err := c.AllocWrite(sponge.TaskID{Node: 0, PID: 1}, big); err == nil {
+		t.Fatal("oversized frame should fail")
+	}
+}
+
+func TestFreeOfBadHandle(t *testing.T) {
+	_, c := startServer(t, 128, 2)
+	if err := c.Free(7); err == nil {
+		t.Fatal("free of unallocated handle should fail")
+	}
+}

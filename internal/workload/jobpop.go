@@ -1,0 +1,134 @@
+package workload
+
+import (
+	"math"
+	"math/rand"
+
+	"spongefiles/internal/media"
+)
+
+// JobPopulation models a month of production jobs for Figure 1: per-job
+// reduce-task counts and per-task input sizes. The body of the size
+// distribution is log-normal (most reduce inputs are modest) with a
+// Pareto tail (a few inputs reach ~10^5 GB, eight orders of magnitude
+// above the median, per Figure 1(a)); within a job, task inputs share
+// the job's base size perturbed by a per-task factor that is itself
+// heavy-tailed for a fraction of jobs, producing the |skewness| > 1 mass
+// of Figure 1(b).
+type JobPopulation struct {
+	Jobs int
+	Seed int64
+
+	// MedianTaskVirtual anchors the log-normal body; MaxTaskVirtual
+	// caps the tail.
+	MedianTaskVirtual float64
+	Sigma             float64 // log-normal shape of job base sizes
+	TailFraction      float64 // jobs drawn from the Pareto tail
+	TailAlpha         float64
+	MaxTaskVirtual    float64
+
+	// SkewedFraction of jobs get heavy-tailed intra-job task factors.
+	SkewedFraction float64
+}
+
+// DefaultJobPopulation calibrates to Figure 1's anchors: the biggest
+// reduce input in the trace is ~105 GB, several orders of magnitude
+// above the median (most jobs are small ad-hoc queries).
+func DefaultJobPopulation() *JobPopulation {
+	return &JobPopulation{
+		Jobs:              20000,
+		Seed:              11,
+		MedianTaskVirtual: 256 * float64(media.KB),
+		Sigma:             2.2,
+		TailFraction:      0.02,
+		TailAlpha:         0.7,
+		MaxTaskVirtual:    105 * float64(media.GB), // Figure 1(a)'s maximum
+		SkewedFraction:    0.45,
+	}
+}
+
+// JobSample is one job's reduce-task input sizes in virtual bytes.
+type JobSample struct {
+	TaskInputs []float64
+}
+
+// Average returns the job's mean task input.
+func (j JobSample) Average() float64 { return Mean(j.TaskInputs) }
+
+// Generate draws the month's jobs deterministically.
+func (p *JobPopulation) Generate() []JobSample {
+	rng := rand.New(rand.NewSource(p.Seed))
+	jobs := make([]JobSample, 0, p.Jobs)
+	for i := 0; i < p.Jobs; i++ {
+		// Reduce count: most jobs are small ad-hoc queries (Facebook's
+		// observation cited in §4.3); log-uniform 1..1000.
+		nTasks := int(math.Exp(rng.Float64()*math.Log(1000))) + 1
+		if nTasks > 2000 {
+			nTasks = 2000
+		}
+		// Job base size.
+		var base float64
+		if rng.Float64() < p.TailFraction {
+			// Pareto tail.
+			u := rng.Float64()
+			base = p.MedianTaskVirtual * 100 * math.Pow(1-u, -1/p.TailAlpha)
+		} else {
+			base = p.MedianTaskVirtual * math.Exp(rng.NormFloat64()*p.Sigma)
+		}
+		if base > p.MaxTaskVirtual {
+			base = p.MaxTaskVirtual
+		}
+		skewed := rng.Float64() < p.SkewedFraction
+		inputs := make([]float64, nTasks)
+		for t := range inputs {
+			f := math.Exp(rng.NormFloat64() * 0.3)
+			if skewed {
+				// Heavy-tailed per-task factor: a few tasks in the job
+				// get far more than their share.
+				f = math.Exp(rng.ExpFloat64()*1.5 - 1.5)
+			}
+			v := base * f
+			if v > p.MaxTaskVirtual {
+				v = p.MaxTaskVirtual
+			}
+			if v < 1024 {
+				v = 1024
+			}
+			inputs[t] = v
+		}
+		jobs = append(jobs, JobSample{TaskInputs: inputs})
+	}
+	return jobs
+}
+
+// AllTaskInputs flattens every task input across jobs (Figure 1(a)'s
+// first curve).
+func AllTaskInputs(jobs []JobSample) []float64 {
+	var out []float64
+	for _, j := range jobs {
+		out = append(out, j.TaskInputs...)
+	}
+	return out
+}
+
+// JobAverages returns the per-job average task input (Figure 1(a)'s
+// second curve).
+func JobAverages(jobs []JobSample) []float64 {
+	out := make([]float64, 0, len(jobs))
+	for _, j := range jobs {
+		out = append(out, j.Average())
+	}
+	return out
+}
+
+// JobSkewness returns the skewness of task inputs for every job with at
+// least three tasks (Figure 1(b)).
+func JobSkewness(jobs []JobSample) []float64 {
+	var out []float64
+	for _, j := range jobs {
+		if len(j.TaskInputs) >= 3 {
+			out = append(out, Skewness(j.TaskInputs))
+		}
+	}
+	return out
+}

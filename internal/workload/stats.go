@@ -1,0 +1,92 @@
+// Package workload generates the synthetic datasets standing in for the
+// paper's proprietary Yahoo! data: a web-crawl corpus with Zipfian domain
+// sizes, a skewed language mix, Zipfian anchortext and spam scores
+// (§4.2.1); the median job's numbers dataset; and the job-population
+// model behind Figure 1's production-cluster CDFs. It also implements the
+// statistics the paper reports: the unbiased skewness estimator and CDF
+// extraction.
+package workload
+
+import (
+	"math"
+	"sort"
+)
+
+// Skewness returns the unbiased estimator of sample skewness (G1 =
+// g1·sqrt(n(n-1))/(n-2), Bulmer 1979), the statistic of Figure 1(b).
+// It returns 0 for fewer than three samples or zero variance.
+func Skewness(xs []float64) float64 {
+	n := float64(len(xs))
+	if len(xs) < 3 {
+		return 0
+	}
+	var mean float64
+	for _, x := range xs {
+		mean += x
+	}
+	mean /= n
+	var m2, m3 float64
+	for _, x := range xs {
+		d := x - mean
+		m2 += d * d
+		m3 += d * d * d
+	}
+	m2 /= n
+	m3 /= n
+	if m2 == 0 {
+		return 0
+	}
+	g1 := m3 / math.Pow(m2, 1.5)
+	return g1 * math.Sqrt(n*(n-1)) / (n - 2)
+}
+
+// CDFPoint is one (value, cumulative fraction) sample of a distribution.
+type CDFPoint struct {
+	Value    float64
+	Fraction float64
+}
+
+// CDF sorts xs and returns the empirical CDF evaluated at the given
+// fractions (each in (0,1]).
+func CDF(xs []float64, fractions []float64) []CDFPoint {
+	if len(xs) == 0 {
+		return nil
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	out := make([]CDFPoint, 0, len(fractions))
+	for _, f := range fractions {
+		idx := int(f*float64(len(s))) - 1
+		if idx < 0 {
+			idx = 0
+		}
+		if idx >= len(s) {
+			idx = len(s) - 1
+		}
+		out = append(out, CDFPoint{Value: s[idx], Fraction: f})
+	}
+	return out
+}
+
+// Quantile returns the q-th (0..1) empirical quantile of xs.
+func Quantile(xs []float64, q float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	idx := int(q * float64(len(s)-1))
+	return s[idx]
+}
+
+// Mean returns the arithmetic mean.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}

@@ -1,0 +1,188 @@
+package workload
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"spongefiles/internal/media"
+	"spongefiles/internal/pig"
+)
+
+func TestSkewnessKnownCases(t *testing.T) {
+	// Symmetric data: skewness ≈ 0.
+	sym := []float64{1, 2, 3, 4, 5, 6, 7}
+	if s := Skewness(sym); math.Abs(s) > 1e-9 {
+		t.Fatalf("symmetric skewness = %f", s)
+	}
+	// Right-tailed data: strongly positive.
+	right := []float64{1, 1, 1, 1, 1, 1, 1, 1, 1, 100}
+	if s := Skewness(right); s < 1 {
+		t.Fatalf("right-tailed skewness = %f, want > 1", s)
+	}
+	// Left-tailed: strongly negative.
+	left := []float64{100, 100, 100, 100, 100, 100, 100, 100, 100, 1}
+	if s := Skewness(left); s > -1 {
+		t.Fatalf("left-tailed skewness = %f, want < -1", s)
+	}
+	if Skewness([]float64{1, 2}) != 0 {
+		t.Fatal("short input should give 0")
+	}
+	if Skewness([]float64{5, 5, 5, 5}) != 0 {
+		t.Fatal("zero variance should give 0")
+	}
+}
+
+// Property: skewness is invariant under positive affine transforms and
+// negates under reflection.
+func TestPropertySkewnessAffine(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		xs := make([]float64, 50)
+		for i := range xs {
+			xs[i] = rng.ExpFloat64()
+		}
+		s := Skewness(xs)
+		scaled := make([]float64, len(xs))
+		neg := make([]float64, len(xs))
+		for i, x := range xs {
+			scaled[i] = 3*x + 7
+			neg[i] = -x
+		}
+		return math.Abs(Skewness(scaled)-s) < 1e-6 && math.Abs(Skewness(neg)+s) < 1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCDFMonotone(t *testing.T) {
+	xs := []float64{5, 1, 9, 3, 7}
+	pts := CDF(xs, []float64{0.2, 0.5, 0.9, 1.0})
+	for i := 1; i < len(pts); i++ {
+		if pts[i].Value < pts[i-1].Value {
+			t.Fatalf("CDF not monotone: %+v", pts)
+		}
+	}
+	if pts[len(pts)-1].Value != 9 {
+		t.Fatalf("CDF max = %f", pts[len(pts)-1].Value)
+	}
+}
+
+func TestWebCorpusShares(t *testing.T) {
+	w := DefaultWebCorpus(64)
+	w.TotalVirtual = 64 * media.MB // small sample for the test
+	rng := rand.New(rand.NewSource(9))
+	domainBytes := map[string]int{}
+	langBytes := map[string]int{}
+	total := 0
+	n := int(w.Records())
+	for i := 0; i < n; i++ {
+		pg := w.page(rng, int64(i))
+		sz := w.RecordReal()
+		domainBytes[pg.Domain] += sz
+		langBytes[pg.Language] += sz
+		total += sz
+	}
+	top := 0
+	for _, b := range domainBytes {
+		if b > top {
+			top = b
+		}
+	}
+	topShare := float64(top) / float64(total)
+	if topShare < 0.2 || topShare > 0.4 {
+		t.Fatalf("top domain share = %.2f, want ≈ 0.30", topShare)
+	}
+	enShare := float64(langBytes["en"]) / float64(total)
+	if enShare < 0.6 || enShare > 0.8 {
+		t.Fatalf("english share = %.2f, want ≈ 0.71", enShare)
+	}
+}
+
+func TestWebCorpusTupleSchemaAndSize(t *testing.T) {
+	w := DefaultWebCorpus(64)
+	rng := rand.New(rand.NewSource(1))
+	pg := w.page(rng, 0)
+	tu := w.Tuple(pg)
+	if tu.String(1) != pg.Domain || tu.String(2) != pg.Language {
+		t.Fatal("tuple schema wrong")
+	}
+	if tu.Float(3) != pg.Spam {
+		t.Fatal("spam score wrong")
+	}
+	if len(tu.Nested(4)) != w.TermsPerPage {
+		t.Fatal("terms wrong")
+	}
+	got := len(pig.AppendTuple(nil, tu))
+	want := w.RecordReal()
+	if got < want-32 || got > want+32 {
+		t.Fatalf("serialized record = %d real bytes, want ≈ %d", got, want)
+	}
+}
+
+func TestWebCorpusDeterministic(t *testing.T) {
+	w := DefaultWebCorpus(64)
+	a := rand.New(rand.NewSource(3))
+	b := rand.New(rand.NewSource(3))
+	for i := int64(0); i < 100; i++ {
+		pa, pb := w.page(a, i), w.page(b, i)
+		if pa.URL != pb.URL || pa.Spam != pb.Spam {
+			t.Fatal("corpus not deterministic")
+		}
+	}
+}
+
+func TestNumbersDeterministicAndBounded(t *testing.T) {
+	n := DefaultNumbers(64)
+	if n.Records() != 10*media.GB/(16*media.KB) {
+		t.Fatalf("records = %d", n.Records())
+	}
+	for i := int64(0); i < 1000; i++ {
+		v := n.Value(i)
+		if v != n.Value(i) || v < 0 || v >= 1e6 {
+			t.Fatalf("value(%d) = %f", i, v)
+		}
+	}
+}
+
+func TestJobPopulationAnchors(t *testing.T) {
+	p := DefaultJobPopulation()
+	p.Jobs = 5000
+	jobs := p.Generate()
+	all := AllTaskInputs(jobs)
+	med := Quantile(all, 0.5)
+	max := Quantile(all, 1.0)
+	// Figure 1(a): max is many orders of magnitude above the median.
+	orders := math.Log10(max / med)
+	if orders < 5 {
+		t.Fatalf("max/median spans only %.1f orders of magnitude", orders)
+	}
+	if max < 50*float64(media.GB) {
+		t.Fatalf("tail never reaches tens of GB: max = %.0f", max)
+	}
+	// Figure 1(b): a large fraction of jobs are highly skewed.
+	sk := JobSkewness(jobs)
+	highly := 0
+	for _, s := range sk {
+		if s > 1 || s < -1 {
+			highly++
+		}
+	}
+	frac := float64(highly) / float64(len(sk))
+	if frac < 0.25 {
+		t.Fatalf("only %.0f%% of jobs highly skewed, want a big fraction", frac*100)
+	}
+}
+
+func TestJobPopulationDeterministic(t *testing.T) {
+	p := DefaultJobPopulation()
+	p.Jobs = 200
+	a, b := p.Generate(), p.Generate()
+	for i := range a {
+		if len(a[i].TaskInputs) != len(b[i].TaskInputs) || a[i].TaskInputs[0] != b[i].TaskInputs[0] {
+			t.Fatal("population not deterministic")
+		}
+	}
+}
