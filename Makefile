@@ -1,0 +1,15 @@
+# Tier-1: the must-stay-green gate (build + full test suite).
+tier1:
+	go build ./... && go test ./...
+
+# Tier-2: go vet plus race-detector runs over the concurrent subsystems
+# (wire protocol demux/dispatch, spill targets).
+tier2:
+	./scripts/check.sh
+
+# Wire protocol benchmarks: lock-step vs pipelined at 1, 4 and 16
+# concurrent requests (see BENCH_wire.json for recorded results).
+bench-wire:
+	go test ./internal/sponge/wire -run '^$$' -bench BenchmarkWire -benchtime 1s -cpu=1,4,16
+
+.PHONY: tier1 tier2 bench-wire

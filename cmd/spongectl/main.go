@@ -5,11 +5,12 @@
 //
 //	spongectl serve [-addr :7070] [-chunk 1048576] [-chunks 1024]
 //	spongectl stat  -addr host:port
-//	spongectl demo  [-chunk 65536] [-chunks 64]
+//	spongectl demo  [-chunk 65536] [-chunks 64] [-conns 4]
 //
 // "serve" runs a sponge server until interrupted. "stat" prints a
-// server's pool state. "demo" starts an in-process server, spills a few
-// chunks through it, reads them back, and prints a transcript.
+// server's pool state. "demo" starts an in-process server, spills
+// chunks through it concurrently over a pipelined connection pool,
+// reads them back with zero-copy ReadInto, and prints a transcript.
 package main
 
 import (
@@ -17,6 +18,7 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"sync"
 	"time"
 
 	"spongefiles/internal/sponge"
@@ -88,6 +90,7 @@ func demo(args []string) {
 	fs := flag.NewFlagSet("demo", flag.ExitOnError)
 	chunk := fs.Int("chunk", 1<<16, "chunk size in bytes")
 	chunks := fs.Int("chunks", 64, "pool chunks")
+	conns := fs.Int("conns", 4, "pipelined connections in the client pool")
 	fs.Parse(args)
 
 	pool := sponge.NewPool(*chunk, *chunks)
@@ -99,55 +102,74 @@ func demo(args []string) {
 	defer srv.Close()
 	fmt.Printf("demo server on %s\n", srv.Addr())
 
-	c, err := wire.Dial(srv.Addr())
+	p, err := wire.DialPool(srv.Addr(), *conns)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
-	defer c.Close()
+	defer p.Close()
+	c := p.Get()
+	fmt.Printf("client pool: %d connections, protocol v%d, chunk size %d\n",
+		p.Size(), c.Version(), p.ChunkSize())
 
 	owner := sponge.TaskID{Node: 1, PID: int64(os.Getpid())}
 	if err := c.Register(uint64(owner.PID)); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
-	var handles []int
-	for i := 0; i < 4; i++ {
-		data := make([]byte, *chunk)
-		for j := range data {
-			data[j] = byte(i + j)
-		}
-		start := time.Now()
-		h, err := c.AllocWrite(owner, data)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
-		}
-		fmt.Printf("spilled chunk %d -> handle %d in %v\n", i, h, time.Since(start))
-		handles = append(handles, h)
+
+	// Spill concurrently: the pipelined protocol keeps every request in
+	// flight at once instead of lock-stepping round trips.
+	const spills = 8
+	handles := make([]int, spills)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for i := 0; i < spills; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			data := make([]byte, *chunk)
+			for j := range data {
+				data[j] = byte(i + j)
+			}
+			h, err := p.AllocWrite(owner, data)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			handles[i] = h
+		}(i)
 	}
-	free, total, _, _ := c.Stat()
+	wg.Wait()
+	fmt.Printf("spilled %d chunks concurrently in %v -> handles %v\n",
+		spills, time.Since(start), handles)
+
+	free, total, _, _ := p.Stat()
 	fmt.Printf("pool: %d/%d free\n", free, total)
+
+	// Read back with ReadInto: one reusable buffer, zero allocations on
+	// the hot path.
+	buf := make([]byte, *chunk)
 	for i, h := range handles {
-		data, err := c.Read(h)
+		n, err := p.ReadInto(h, buf)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
 		ok := true
-		for j := range data {
-			if data[j] != byte(i+j) {
+		for j := 0; j < n; j++ {
+			if buf[j] != byte(i+j) {
 				ok = false
 				break
 			}
 		}
-		fmt.Printf("read handle %d: %d bytes, intact=%v\n", h, len(data), ok)
-		if err := c.Free(h); err != nil {
+		fmt.Printf("read handle %d: %d bytes, intact=%v\n", h, n, ok)
+		if err := p.Free(h); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
 	}
-	free, total, _, _ = c.Stat()
+	free, total, _, _ = p.Stat()
 	fmt.Printf("after free: %d/%d free\n", free, total)
 	alive, _ := c.Ping(uint64(owner.PID))
 	fmt.Printf("liveness check for pid %d: %v\n", owner.PID, alive)

@@ -1,117 +1,418 @@
 package wire
 
 import (
+	"bufio"
 	"encoding/binary"
 	"fmt"
+	"io"
 	"net"
 	"sync"
+	"sync/atomic"
 
 	"spongefiles/internal/sponge"
 )
 
 // Client talks to one remote sponge server. It is safe for concurrent
-// use; requests serialize over a single connection.
+// use. Against a v2 server the connection is pipelined: any number of
+// requests may be in flight at once, a demux goroutine routes responses
+// back to their callers by request ID, and chunk payloads ride vectored
+// writes with no coalescing copy. Against a v1 peer the client falls
+// back to the original lock-step exchange, serializing requests over
+// the connection.
 type Client struct {
-	mu        sync.Mutex
 	conn      net.Conn
+	br        *bufio.Reader
+	fw        *frameWriter
 	chunkSize int
+	version   int
+
+	// rtmu serializes v1 round trips end to end (lock-step semantics);
+	// unused in v2 mode, where fw alone orders frame writes.
+	rtmu sync.Mutex
+
+	// v2 pipelining state.
+	nextID  atomic.Uint32
+	pmu     sync.Mutex
+	pending map[uint32]*wireCall
+	cerr    error // sticky transport error; guarded by pmu
+	done    chan struct{}
 }
 
-// Dial connects to a sponge server and learns its chunk size.
+// wireCall is one in-flight v2 request awaiting its response.
+type wireCall struct {
+	into []byte // optional destination for the response payload
+	ch   chan wireReply
+}
+
+// wireReply carries a decoded response (or transport error) to a caller.
+type wireReply struct {
+	status byte
+	body   []byte // payload after the status byte (nil when into was used)
+	n      int    // bytes stored into the caller's buffer
+	err    error
+}
+
+// Dial connects to a sponge server, negotiates the protocol version,
+// and learns the server's chunk size. A client that cannot learn the
+// chunk size would mis-size its frame limit and reject valid responses,
+// so any failure here is returned rather than papered over.
 func Dial(addr string) (*Client, error) {
 	conn, err := net.Dial("tcp", addr)
 	if err != nil {
 		return nil, err
 	}
-	c := &Client{conn: conn, chunkSize: 1 << 20}
-	if _, _, size, err := c.Stat(); err == nil {
-		c.chunkSize = size
+	c := &Client{
+		conn:    conn,
+		br:      bufio.NewReaderSize(conn, 64<<10),
+		fw:      newFrameWriter(conn),
+		version: ProtocolV1,
 	}
+	hello, err := c.hello()
+	if err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("wire: dial %s: %w", addr, err)
+	}
+	if hello != nil {
+		// v2 peer: the hello reply carries the pool geometry; switch to
+		// pipelined framing.
+		c.version = ProtocolV2
+		c.chunkSize = int(binary.LittleEndian.Uint32(hello[10:14]))
+		c.pending = make(map[uint32]*wireCall)
+		c.done = make(chan struct{})
+		go c.demux()
+		return c, nil
+	}
+	// v1 peer: stay lock-step and learn the chunk size with a Stat.
+	_, _, size, err := c.Stat()
+	if err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("wire: dial %s: stat: %w", addr, err)
+	}
+	c.chunkSize = size
 	return c, nil
 }
 
-// Close closes the connection.
-func (c *Client) Close() error { return c.conn.Close() }
-
-// roundTrip sends one request and reads the response body.
-func (c *Client) roundTrip(req []byte) ([]byte, error) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if err := writeFrame(c.conn, req); err != nil {
-		return nil, err
-	}
-	resp, err := readFrame(c.conn, c.chunkSize+frameSlack)
+// DialV1 connects in the legacy lock-step mode without offering v2,
+// regardless of what the server speaks: one request in flight at a
+// time, responses read in request order. It exists as a compatibility
+// escape hatch and as the baseline in benchmarks.
+func DialV1(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
 	if err != nil {
 		return nil, err
 	}
-	if len(resp) == 0 {
-		return nil, fmt.Errorf("wire: empty response")
+	c := &Client{
+		conn:    conn,
+		br:      bufio.NewReaderSize(conn, 64<<10),
+		fw:      newFrameWriter(conn),
+		version: ProtocolV1,
 	}
-	if err := statusErr(resp[0]); err != nil {
+	_, _, size, err := c.Stat()
+	if err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("wire: dial %s: stat: %w", addr, err)
+	}
+	c.chunkSize = size
+	return c, nil
+}
+
+// hello performs the version exchange. It returns the hello response
+// body for a v2 peer, nil for a v1 peer (which answers any unknown op
+// with StatusBadRequest), or an error for anything else.
+func (c *Client) hello() ([]byte, error) {
+	if err := writeFrame(c.conn, []byte{OpHello, ProtocolV2}); err != nil {
 		return nil, err
 	}
-	return resp[1:], nil
+	resp, err := readFrame(c.br, handshakeLimit)
+	if err != nil {
+		return nil, err
+	}
+	switch {
+	case len(resp) == helloRespLen && resp[0] == StatusOK && resp[1] >= ProtocolV2:
+		return resp, nil
+	case len(resp) >= 1 && resp[0] == StatusBadRequest:
+		return nil, nil
+	}
+	return nil, fmt.Errorf("wire: malformed hello response (%d bytes)", len(resp))
+}
+
+// Version reports the negotiated protocol version.
+func (c *Client) Version() int { return c.version }
+
+// ChunkSize reports the server's chunk size learned at dial time.
+func (c *Client) ChunkSize() int { return c.chunkSize }
+
+// Close closes the connection and, in v2 mode, waits for the demux
+// goroutine to fail any in-flight requests and exit.
+func (c *Client) Close() error {
+	err := c.conn.Close()
+	if c.done != nil {
+		<-c.done
+	}
+	return err
+}
+
+func (c *Client) limit() int {
+	if c.chunkSize > 0 {
+		return c.chunkSize + frameSlack
+	}
+	return handshakeLimit
+}
+
+// fail poisons the connection: the first error sticks, every in-flight
+// and future request gets it, and the socket is closed.
+func (c *Client) fail(err error) {
+	c.pmu.Lock()
+	if c.cerr == nil {
+		c.cerr = err
+	}
+	err = c.cerr
+	calls := c.pending
+	c.pending = make(map[uint32]*wireCall)
+	c.pmu.Unlock()
+	c.conn.Close()
+	for _, call := range calls {
+		call.ch <- wireReply{err: err}
+	}
+}
+
+// demux routes v2 responses to their waiting callers by request ID.
+// Responses whose caller supplied a destination buffer are decoded
+// straight off the socket into it; others get an exact-size allocation.
+func (c *Client) demux() {
+	defer close(c.done)
+	for {
+		n, id, err := readFrameV2Header(c.br, c.limit())
+		if err != nil {
+			c.fail(err)
+			return
+		}
+		if n < 1 {
+			c.fail(fmt.Errorf("wire: empty response frame"))
+			return
+		}
+		status, err := c.br.ReadByte()
+		if err != nil {
+			c.fail(err)
+			return
+		}
+		rest := n - 1
+		c.pmu.Lock()
+		call := c.pending[id]
+		delete(c.pending, id)
+		c.pmu.Unlock()
+		if call == nil {
+			c.fail(fmt.Errorf("wire: response for unknown request %d", id))
+			return
+		}
+		// From here on the call is out of the pending map, so fail()
+		// cannot see it: any transport error must be delivered to this
+		// caller directly as well.
+		rep := wireReply{status: status}
+		if call.into != nil && status == StatusOK {
+			if rest > len(call.into) {
+				// Caller's buffer is too small: the connection is still
+				// consistent, so drain the payload and report only to
+				// this caller.
+				if _, err := io.CopyN(io.Discard, c.br, int64(rest)); err != nil {
+					c.fail(err)
+					call.ch <- wireReply{err: err}
+					return
+				}
+				rep.err = fmt.Errorf("wire: %w: response is %d bytes, buffer holds %d",
+					io.ErrShortBuffer, rest, len(call.into))
+			} else if _, err := io.ReadFull(c.br, call.into[:rest]); err != nil {
+				c.fail(err)
+				call.ch <- wireReply{err: err}
+				return
+			} else {
+				rep.n = rest
+			}
+		} else {
+			body := make([]byte, rest)
+			if _, err := io.ReadFull(c.br, body); err != nil {
+				c.fail(err)
+				call.ch <- wireReply{err: err}
+				return
+			}
+			rep.body = body
+		}
+		call.ch <- rep
+	}
+}
+
+// send writes one v2 request frame (header + op header + payload)
+// through the batching writer: small frames coalesce with concurrent
+// senders' frames into one flush, chunk payloads go to the socket as a
+// vectored write without being copied.
+func (c *Client) send(id uint32, head, payload []byte) error {
+	hp := hdrPool.Get().(*[]byte)
+	hdr := append((*hp)[:0], 0, 0, 0, 0, 0, 0, 0, 0)
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(head)+len(payload)))
+	binary.LittleEndian.PutUint32(hdr[4:8], id)
+	hdr = append(hdr, head...)
+	err := c.fw.writeFrame(hdr, payload)
+	*hp = hdr[:0]
+	hdrPool.Put(hp)
+	return err
+}
+
+// do performs one request/response exchange in whichever mode the
+// connection negotiated. head is the op byte plus fixed fields, payload
+// the bulk data (may be nil), into an optional destination for the
+// response payload.
+func (c *Client) do(head, payload, into []byte) (wireReply, error) {
+	if c.version < ProtocolV2 {
+		return c.roundTrip(head, payload, into)
+	}
+	call := &wireCall{into: into, ch: make(chan wireReply, 1)}
+	id := c.nextID.Add(1)
+	c.pmu.Lock()
+	if c.cerr != nil {
+		err := c.cerr
+		c.pmu.Unlock()
+		return wireReply{}, err
+	}
+	c.pending[id] = call
+	c.pmu.Unlock()
+	if err := c.send(id, head, payload); err != nil {
+		c.fail(err) // delivers the error to every pending call, ours included
+	}
+	rep := <-call.ch
+	if rep.err != nil {
+		return wireReply{}, rep.err
+	}
+	if err := statusErr(rep.status); err != nil {
+		return wireReply{}, err
+	}
+	return rep, nil
+}
+
+// roundTrip is the v1 lock-step exchange: the round-trip lock is held
+// until the response has been read, so one request is in flight at a
+// time.
+func (c *Client) roundTrip(head, payload, into []byte) (wireReply, error) {
+	c.rtmu.Lock()
+	defer c.rtmu.Unlock()
+	hp := hdrPool.Get().(*[]byte)
+	hdr := append((*hp)[:0], 0, 0, 0, 0)
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(head)+len(payload)))
+	hdr = append(hdr, head...)
+	err := c.fw.writeFrame(hdr, payload)
+	*hp = hdr[:0]
+	hdrPool.Put(hp)
+	if err != nil {
+		return wireReply{}, err
+	}
+	resp, err := readFrame(c.br, c.limit())
+	if err != nil {
+		return wireReply{}, err
+	}
+	if len(resp) == 0 {
+		return wireReply{}, fmt.Errorf("wire: empty response")
+	}
+	rep := wireReply{status: resp[0]}
+	if err := statusErr(rep.status); err != nil {
+		return wireReply{}, err
+	}
+	body := resp[1:]
+	if into != nil {
+		if len(body) > len(into) {
+			return wireReply{}, fmt.Errorf("wire: %w: response is %d bytes, buffer holds %d",
+				io.ErrShortBuffer, len(body), len(into))
+		}
+		rep.n = copy(into, body)
+	} else {
+		rep.body = body
+	}
+	return rep, nil
 }
 
 // AllocWrite allocates a chunk for owner and stores data in it, in one
-// exchange, returning the chunk handle.
+// exchange, returning the chunk handle. The payload is written straight
+// from data (vectored write); it must not be mutated until AllocWrite
+// returns.
 func (c *Client) AllocWrite(owner sponge.TaskID, data []byte) (int, error) {
-	req := make([]byte, 13, 13+len(data))
-	req[0] = OpAllocWrite
-	binary.LittleEndian.PutUint32(req[1:5], uint32(owner.Node))
-	binary.LittleEndian.PutUint64(req[5:13], uint64(owner.PID))
-	req = append(req, data...)
-	resp, err := c.roundTrip(req)
+	if c.chunkSize > 0 && len(data) > c.chunkSize {
+		return 0, fmt.Errorf("wire: payload of %d bytes exceeds chunk size %d: %w",
+			len(data), c.chunkSize, ErrBadRequest)
+	}
+	var head [13]byte
+	head[0] = OpAllocWrite
+	binary.LittleEndian.PutUint32(head[1:5], uint32(owner.Node))
+	binary.LittleEndian.PutUint64(head[5:13], uint64(owner.PID))
+	rep, err := c.do(head[:], data, nil)
 	if err != nil {
 		return 0, err
 	}
-	if len(resp) != 4 {
+	if len(rep.body) != 4 {
 		return 0, fmt.Errorf("wire: bad alloc response")
 	}
-	return int(binary.LittleEndian.Uint32(resp)), nil
+	return int(binary.LittleEndian.Uint32(rep.body)), nil
 }
 
-// Read fetches a chunk's contents.
+// Read fetches a chunk's contents into a fresh buffer sized to the
+// chunk's length.
 func (c *Client) Read(handle int) ([]byte, error) {
-	req := make([]byte, 5)
-	req[0] = OpRead
-	binary.LittleEndian.PutUint32(req[1:], uint32(handle))
-	return c.roundTrip(req)
+	var head [5]byte
+	head[0] = OpRead
+	binary.LittleEndian.PutUint32(head[1:], uint32(handle))
+	rep, err := c.do(head[:], nil, nil)
+	if err != nil {
+		return nil, err
+	}
+	return rep.body, nil
+}
+
+// ReadInto fetches a chunk's contents directly into buf, avoiding any
+// intermediate allocation (in v2 mode the payload is decoded off the
+// socket straight into buf), and returns the byte count. If buf is too
+// small the call fails with an error wrapping io.ErrShortBuffer; the
+// connection remains usable.
+func (c *Client) ReadInto(handle int, buf []byte) (int, error) {
+	var head [5]byte
+	head[0] = OpRead
+	binary.LittleEndian.PutUint32(head[1:], uint32(handle))
+	rep, err := c.do(head[:], nil, buf)
+	if err != nil {
+		return 0, err
+	}
+	return rep.n, nil
 }
 
 // Free releases a chunk.
 func (c *Client) Free(handle int) error {
-	req := make([]byte, 5)
-	req[0] = OpFree
-	binary.LittleEndian.PutUint32(req[1:], uint32(handle))
-	_, err := c.roundTrip(req)
+	var head [5]byte
+	head[0] = OpFree
+	binary.LittleEndian.PutUint32(head[1:], uint32(handle))
+	_, err := c.do(head[:], nil, nil)
 	return err
 }
 
 // Stat returns (free chunks, total chunks, chunk size).
 func (c *Client) Stat() (free, total, chunkSize int, err error) {
-	resp, err := c.roundTrip([]byte{OpStat})
+	rep, err := c.do([]byte{OpStat}, nil, nil)
 	if err != nil {
 		return 0, 0, 0, err
 	}
-	if len(resp) != 12 {
+	if len(rep.body) != 12 {
 		return 0, 0, 0, fmt.Errorf("wire: bad stat response")
 	}
-	return int(binary.LittleEndian.Uint32(resp[0:4])),
-		int(binary.LittleEndian.Uint32(resp[4:8])),
-		int(binary.LittleEndian.Uint32(resp[8:12])), nil
+	return int(binary.LittleEndian.Uint32(rep.body[0:4])),
+		int(binary.LittleEndian.Uint32(rep.body[4:8])),
+		int(binary.LittleEndian.Uint32(rep.body[8:12])), nil
 }
 
 // Ping reports whether pid is alive on the server's node.
 func (c *Client) Ping(pid uint64) (bool, error) {
-	req := make([]byte, 9)
-	req[0] = OpPing
-	binary.LittleEndian.PutUint64(req[1:], pid)
-	resp, err := c.roundTrip(req)
+	var head [9]byte
+	head[0] = OpPing
+	binary.LittleEndian.PutUint64(head[1:], pid)
+	rep, err := c.do(head[:], nil, nil)
 	if err != nil {
 		return false, err
 	}
-	return len(resp) == 1 && resp[0] == 1, nil
+	return len(rep.body) == 1 && rep.body[0] == 1, nil
 }
 
 // Register marks pid live on the server's node.
@@ -125,9 +426,77 @@ func (c *Client) Unregister(pid uint64) error {
 }
 
 func (c *Client) pidOp(op byte, pid uint64) error {
-	req := make([]byte, 9)
-	req[0] = op
-	binary.LittleEndian.PutUint64(req[1:], pid)
-	_, err := c.roundTrip(req)
+	var head [9]byte
+	head[0] = op
+	binary.LittleEndian.PutUint64(head[1:], pid)
+	_, err := c.do(head[:], nil, nil)
 	return err
 }
+
+// ClientPool fans requests out over several pipelined connections to
+// one server, for callers whose concurrency outgrows a single socket.
+// Connections are handed out round-robin; all Client methods are
+// mirrored for convenience.
+type ClientPool struct {
+	clients []*Client
+	next    atomic.Uint32
+}
+
+// DialPool dials n connections to a sponge server. n < 1 is treated
+// as 1.
+func DialPool(addr string, n int) (*ClientPool, error) {
+	if n < 1 {
+		n = 1
+	}
+	p := &ClientPool{clients: make([]*Client, 0, n)}
+	for i := 0; i < n; i++ {
+		c, err := Dial(addr)
+		if err != nil {
+			p.Close()
+			return nil, err
+		}
+		p.clients = append(p.clients, c)
+	}
+	return p, nil
+}
+
+// Get returns one of the pool's connections, round-robin.
+func (p *ClientPool) Get() *Client {
+	return p.clients[int(p.next.Add(1)-1)%len(p.clients)]
+}
+
+// Size returns the number of pooled connections.
+func (p *ClientPool) Size() int { return len(p.clients) }
+
+// ChunkSize reports the server's chunk size.
+func (p *ClientPool) ChunkSize() int { return p.clients[0].chunkSize }
+
+// Close closes every pooled connection, returning the first error.
+func (p *ClientPool) Close() error {
+	var first error
+	for _, c := range p.clients {
+		if err := c.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// AllocWrite allocates and fills a chunk via one pooled connection.
+func (p *ClientPool) AllocWrite(owner sponge.TaskID, data []byte) (int, error) {
+	return p.Get().AllocWrite(owner, data)
+}
+
+// Read fetches a chunk via one pooled connection.
+func (p *ClientPool) Read(handle int) ([]byte, error) { return p.Get().Read(handle) }
+
+// ReadInto fetches a chunk into buf via one pooled connection.
+func (p *ClientPool) ReadInto(handle int, buf []byte) (int, error) {
+	return p.Get().ReadInto(handle, buf)
+}
+
+// Free releases a chunk via one pooled connection.
+func (p *ClientPool) Free(handle int) error { return p.Get().Free(handle) }
+
+// Stat returns the server's pool state via one pooled connection.
+func (p *ClientPool) Stat() (free, total, chunkSize int, err error) { return p.Get().Stat() }

@@ -4,19 +4,42 @@
 // free space, and check task liveness (the paper's sponge server,
 // §3.1.1, as an actual daemon rather than a simulated one).
 //
-// The protocol is a simple length-prefixed binary request/response
-// exchange; one request is in flight per connection at a time.
+// The protocol has two framings, negotiated per connection:
 //
-//	frame  := length(u32 LE, bytes after this field) body
-//	request  := op(u8) payload
-//	response := status(u8) payload
+//	v1 (lock-step):  frame := length(u32 LE, bytes after this field) body
+//	v2 (pipelined):  frame := length(u32 LE, bytes after requestID) requestID(u32 LE) body
+//	request  body := op(u8) payload
+//	response body := status(u8) payload
+//
+// A client opens every connection with a v1-framed OpHello carrying the
+// highest protocol version it speaks. A v2 server answers StatusOK plus
+// its version and pool geometry and both sides switch to v2 framing; a
+// v1 server answers StatusBadRequest (its reply to any unknown op) and
+// the connection stays v1. Under v1 exactly one request is in flight at
+// a time. Under v2 the request ID multiplexes any number of concurrent
+// requests over one connection: the client demultiplexes responses back
+// to waiting callers by ID, and the server dispatches requests through a
+// bounded worker pool while serializing frame writes, so responses may
+// arrive in any order. Hot-path frames travel as vectored writes
+// (net.Buffers) — header and chunk payload are never coalesced into one
+// allocation — and both sides recycle chunk-sized buffers.
 package wire
 
 import (
+	"bufio"
 	"encoding/binary"
 	"errors"
 	"fmt"
 	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+)
+
+// Protocol versions exchanged in the hello.
+const (
+	ProtocolV1 = 1
+	ProtocolV2 = 2
 )
 
 // Op codes.
@@ -39,6 +62,11 @@ const (
 	OpRegister
 	// OpUnregister marks a task dead. Payload: pid (u64).
 	OpUnregister
+	// OpHello negotiates the protocol version; always sent v1-framed as
+	// a connection's first request. Payload: version (u8). Response:
+	// version (u8), free chunks (u32), total chunks (u32), chunk size
+	// (u32) — the stat fields spare v2 dialers a second round trip.
+	OpHello
 )
 
 // Status codes.
@@ -58,11 +86,78 @@ var (
 	ErrBadRequest    = errors.New("wire: bad request")
 )
 
-// maxFrame bounds a frame to chunk size plus slack; connections sending
-// more are dropped.
+// frameSlack bounds a frame to chunk size plus protocol overhead;
+// connections sending more are dropped.
 const frameSlack = 64
 
-// writeFrame sends one length-prefixed frame.
+// handshakeLimit bounds frames read before the peer's chunk size is
+// known (hello and fallback stat responses are a few bytes).
+const handshakeLimit = 1 << 20
+
+// helloRespLen is the v1-framed body of a successful hello response:
+// status, version, free (u32), total (u32), chunk size (u32).
+const helloRespLen = 14
+
+// hdrPool recycles the small scratch buffers that carry frame headers
+// (and request op headers) into vectored writes.
+var hdrPool = sync.Pool{New: func() any { b := make([]byte, 0, 64); return &b }}
+
+// directWriteMin is the payload size at which a frame bypasses the
+// batching writer and goes to the socket as a vectored write: copying
+// that much into the write buffer would cost more than the syscall it
+// saves.
+const directWriteMin = 4 << 10
+
+// frameWriter serializes frame writes to one connection and batches
+// small frames group-commit style: while other writers are queued on
+// the lock the bytes stay buffered, and whoever leaves the queue last
+// flushes. Large payloads skip the buffer entirely (vectored write), so
+// chunk data is never copied. The zero value is not usable; call
+// newFrameWriter.
+type frameWriter struct {
+	conn net.Conn
+	bw   *bufio.Writer
+	mu   sync.Mutex
+	q    atomic.Int32 // writers queued or writing
+	err  error        // sticky; guarded by mu
+}
+
+func newFrameWriter(conn net.Conn) *frameWriter {
+	return &frameWriter{conn: conn, bw: bufio.NewWriterSize(conn, 64<<10)}
+}
+
+// writeFrame queues one frame (pre-built header plus optional payload)
+// and flushes unless another writer is about to enter. Errors are
+// sticky: once the connection fails every later write reports it.
+func (w *frameWriter) writeFrame(hdr, payload []byte) error {
+	w.q.Add(1)
+	w.mu.Lock()
+	err := w.err
+	if err == nil {
+		if len(payload) >= directWriteMin {
+			// Flush whatever small frames are pending, then hand the
+			// payload straight to the kernel as a vectored write.
+			if err = w.bw.Flush(); err == nil {
+				err = writeFrameVec(w.conn, hdr, payload)
+			}
+		} else {
+			_, err = w.bw.Write(hdr)
+			if err == nil && len(payload) > 0 {
+				_, err = w.bw.Write(payload)
+			}
+		}
+	}
+	if w.q.Add(-1) == 0 && err == nil && w.bw.Buffered() > 0 {
+		err = w.bw.Flush()
+	}
+	if err != nil && w.err == nil {
+		w.err = err
+	}
+	w.mu.Unlock()
+	return err
+}
+
+// writeFrame sends one v1 length-prefixed frame.
 func writeFrame(w io.Writer, body []byte) error {
 	var hdr [4]byte
 	binary.LittleEndian.PutUint32(hdr[:], uint32(len(body)))
@@ -73,7 +168,20 @@ func writeFrame(w io.Writer, body []byte) error {
 	return err
 }
 
-// readFrame receives one frame, enforcing the size limit.
+// writeFrameVec sends one frame as a vectored write: hdr already holds
+// the frame header plus any op header; payload rides behind it without
+// being copied into a joint buffer.
+func writeFrameVec(w io.Writer, hdr, payload []byte) error {
+	if len(payload) == 0 {
+		_, err := w.Write(hdr)
+		return err
+	}
+	bufs := net.Buffers{hdr, payload}
+	_, err := bufs.WriteTo(w)
+	return err
+}
+
+// readFrame receives one v1 frame, enforcing the size limit.
 func readFrame(r io.Reader, limit int) ([]byte, error) {
 	var hdr [4]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
@@ -88,6 +196,35 @@ func readFrame(r io.Reader, limit int) ([]byte, error) {
 		return nil, err
 	}
 	return body, nil
+}
+
+// readFrameV2Header reads a v2 frame header, returning the body length
+// and request ID. The caller reads the body (it may want to place it in
+// a pooled or caller-supplied buffer).
+func readFrameV2Header(r io.Reader, limit int) (n int, id uint32, err error) {
+	var hdr [8]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return 0, 0, err
+	}
+	n = int(binary.LittleEndian.Uint32(hdr[0:4]))
+	id = binary.LittleEndian.Uint32(hdr[4:8])
+	if n > limit {
+		return 0, 0, fmt.Errorf("wire: frame of %d bytes exceeds limit %d", n, limit)
+	}
+	return n, id, nil
+}
+
+// writeFrameV2 sends one v2 frame (length, request ID, body) through a
+// connection's batching writer.
+func writeFrameV2(w *frameWriter, id uint32, body []byte) error {
+	hp := hdrPool.Get().(*[]byte)
+	hdr := append((*hp)[:0], 0, 0, 0, 0, 0, 0, 0, 0)
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(body)))
+	binary.LittleEndian.PutUint32(hdr[4:8], id)
+	err := w.writeFrame(hdr, body)
+	*hp = hdr[:0]
+	hdrPool.Put(hp)
+	return err
 }
 
 func statusErr(status byte) error {

@@ -1,8 +1,10 @@
 package wire
 
 import (
+	"bufio"
 	"encoding/binary"
 	"errors"
+	"io"
 	"log"
 	"net"
 	"sync"
@@ -10,17 +12,38 @@ import (
 	"spongefiles/internal/sponge"
 )
 
+// serverInflight bounds the per-connection worker pool: how many v2
+// requests one connection may have executing at once. The reader stops
+// pulling frames when all slots are busy, so it doubles as backpressure.
+const serverInflight = 16
+
+// minRecycledBuf is the smallest buffer worth recycling; tiny status
+// responses are cheaper to allocate than to pool.
+const minRecycledBuf = 1 << 10
+
 // Server serves a node's sponge pool over TCP. The pool is the same
 // structure the in-process allocators use; its internal lock makes the
 // two access paths (shared memory within the process, sockets across
 // machines) safe together, exactly as the paper's mmap-plus-daemon
 // design intends.
+//
+// Each connection starts in v1 lock-step framing; a client that sends
+// OpHello with version ≥ 2 is switched to the pipelined v2 framing,
+// where requests dispatch concurrently through a bounded worker pool
+// and responses (tagged with the request ID) are written back in
+// completion order.
 type Server struct {
 	pool *sponge.Pool
 	ln   net.Listener
 
-	mu   sync.Mutex
-	live map[uint64]bool
+	mu    sync.Mutex
+	live  map[uint64]bool
+	conns map[net.Conn]struct{}
+
+	// bufs recycles chunk-size-class request and response buffers so the
+	// steady-state hot path (OpAllocWrite ingest, OpRead responses) does
+	// not allocate.
+	bufs sync.Pool
 
 	wg     sync.WaitGroup
 	closed chan struct{}
@@ -37,6 +60,7 @@ func Serve(pool *sponge.Pool, addr string) (*Server, error) {
 		pool:   pool,
 		ln:     ln,
 		live:   make(map[uint64]bool),
+		conns:  make(map[net.Conn]struct{}),
 		closed: make(chan struct{}),
 	}
 	s.wg.Add(1)
@@ -47,10 +71,16 @@ func Serve(pool *sponge.Pool, addr string) (*Server, error) {
 // Addr returns the listening address.
 func (s *Server) Addr() string { return s.ln.Addr().String() }
 
-// Close stops the listener and waits for connection handlers.
+// Close stops the listener, closes every live connection, and waits for
+// their handlers.
 func (s *Server) Close() error {
 	close(s.closed)
 	err := s.ln.Close()
+	s.mu.Lock()
+	for conn := range s.conns {
+		conn.Close()
+	}
+	s.mu.Unlock()
 	s.wg.Wait()
 	return err
 }
@@ -75,30 +105,142 @@ func (s *Server) acceptLoop() {
 				return
 			}
 		}
+		s.mu.Lock()
+		select {
+		case <-s.closed:
+			s.mu.Unlock()
+			conn.Close()
+			return
+		default:
+		}
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
 		s.wg.Add(1)
 		go func() {
 			defer s.wg.Done()
 			defer conn.Close()
+			defer func() {
+				s.mu.Lock()
+				delete(s.conns, conn)
+				s.mu.Unlock()
+			}()
 			s.handle(conn)
 		}()
 	}
 }
 
+// getBuf returns a buffer of exactly need bytes, reusing a recycled one
+// when it is big enough. When the pool is empty (or only holds smaller
+// buffers) the fallback allocation is sized to need — the actual chunk
+// length — never to the full chunk size.
+func (s *Server) getBuf(need int) []byte {
+	if v := s.bufs.Get(); v != nil {
+		if b := *(v.(*[]byte)); cap(b) >= need {
+			return b[:need]
+		}
+	}
+	return make([]byte, need)
+}
+
+// recycle returns a buffer to the pool for reuse.
+func (s *Server) recycle(b []byte) {
+	if cap(b) < minRecycledBuf {
+		return
+	}
+	b = b[:cap(b)]
+	s.bufs.Put(&b)
+}
+
+// helloResponse builds the v1-framed reply to OpHello: status, version,
+// and the stat triple so v2 dialers skip a round trip.
+func (s *Server) helloResponse() []byte {
+	out := make([]byte, helloRespLen)
+	out[0] = StatusOK
+	out[1] = ProtocolV2
+	binary.LittleEndian.PutUint32(out[2:6], uint32(s.pool.Free()))
+	binary.LittleEndian.PutUint32(out[6:10], uint32(s.pool.Chunks()))
+	binary.LittleEndian.PutUint32(out[10:14], uint32(s.pool.ChunkSize()))
+	return out
+}
+
+// handle runs a connection in v1 lock-step framing until it either
+// drops or upgrades itself to v2 via OpHello.
 func (s *Server) handle(conn net.Conn) {
+	br := bufio.NewReaderSize(conn, 32<<10)
 	limit := s.pool.ChunkSize() + frameSlack
 	for {
-		req, err := readFrame(conn, limit)
+		req, err := readFrame(br, limit)
 		if err != nil {
 			return // EOF or protocol violation: drop the connection
 		}
+		if len(req) == 2 && req[0] == OpHello {
+			if req[1] >= ProtocolV2 {
+				if err := writeFrame(conn, s.helloResponse()); err != nil {
+					return
+				}
+				s.serveV2(conn, br)
+				return
+			}
+			// A v1 hello keeps v1 framing; any other version we cannot
+			// serve is answered like an unknown op.
+			if err := writeFrame(conn, []byte{StatusBadRequest}); err != nil {
+				return
+			}
+			continue
+		}
 		resp := s.dispatch(req)
-		if err := writeFrame(conn, resp); err != nil {
+		err = writeFrame(conn, resp)
+		s.recycle(resp)
+		if err != nil {
 			return
 		}
 	}
 }
 
-// dispatch executes one request and builds the response frame.
+// serveV2 runs a connection in pipelined framing: the reader pulls
+// frames and hands each to a worker (bounded by serverInflight);
+// workers dispatch against the pool and write their response — tagged
+// with the request ID — in completion order through the connection's
+// batching writer, which coalesces small responses into one flush when
+// several workers finish together.
+func (s *Server) serveV2(conn net.Conn, br *bufio.Reader) {
+	limit := s.pool.ChunkSize() + frameSlack
+	fw := newFrameWriter(conn)
+	sem := make(chan struct{}, serverInflight)
+	var wg sync.WaitGroup
+	defer wg.Wait()
+	for {
+		n, id, err := readFrameV2Header(br, limit)
+		if err != nil {
+			return
+		}
+		if n < 1 {
+			return
+		}
+		req := s.getBuf(n)
+		if _, err := io.ReadFull(br, req); err != nil {
+			s.recycle(req)
+			return
+		}
+		sem <- struct{}{}
+		wg.Add(1)
+		go func(id uint32, req []byte) {
+			defer wg.Done()
+			resp := s.dispatch(req)
+			s.recycle(req)
+			err := writeFrameV2(fw, id, resp)
+			s.recycle(resp)
+			<-sem
+			if err != nil {
+				conn.Close() // unblocks the reader; the connection is gone
+			}
+		}(id, req)
+	}
+}
+
+// dispatch executes one request and builds the response body. Responses
+// may come from the server's buffer pool; callers hand them to recycle
+// after writing.
 func (s *Server) dispatch(req []byte) []byte {
 	if len(req) < 1 {
 		return []byte{StatusBadRequest}
@@ -136,13 +278,18 @@ func (s *Server) dispatch(req []byte) []byte {
 			return []byte{StatusBadRequest}
 		}
 		h := int(binary.LittleEndian.Uint32(payload))
-		buf := make([]byte, 1+s.pool.ChunkSize())
-		n, err := s.pool.Read(h, buf[1:])
+		n, err := s.pool.Length(h)
 		if err != nil {
 			return []byte{errStatus(err)}
 		}
+		buf := s.getBuf(1 + n)
+		m, err := s.pool.Read(h, buf[1:])
+		if err != nil {
+			s.recycle(buf)
+			return []byte{errStatus(err)}
+		}
 		buf[0] = StatusOK
-		return buf[:1+n]
+		return buf[:1+m]
 	case OpFree:
 		if len(payload) != 4 {
 			return []byte{StatusBadRequest}

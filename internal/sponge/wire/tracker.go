@@ -11,6 +11,11 @@ import (
 // free-list queries from its in-memory snapshot, exactly like the
 // simulated tracker but against live daemons. It is stateless — restart
 // it anywhere and the first poll rebuilds its view (§3.1.1).
+//
+// The tracker keeps one pipelined client per server across polls
+// instead of dialing anew each cycle; a poll is a single Stat round
+// trip. A failed poll drops the cached connection, and the next cycle
+// re-dials.
 type Tracker struct {
 	interval time.Duration
 
@@ -18,6 +23,7 @@ type Tracker struct {
 	addrs   []string
 	free    map[string]int
 	lastErr map[string]error
+	clients map[string]*Client
 
 	stop chan struct{}
 	done chan struct{}
@@ -35,6 +41,7 @@ func NewTracker(addrs []string, interval time.Duration) *Tracker {
 		addrs:    append([]string(nil), addrs...),
 		free:     make(map[string]int),
 		lastErr:  make(map[string]error),
+		clients:  make(map[string]*Client),
 		stop:     make(chan struct{}),
 		done:     make(chan struct{}),
 	}
@@ -43,10 +50,17 @@ func NewTracker(addrs []string, interval time.Duration) *Tracker {
 	return t
 }
 
-// Close stops the poll loop.
+// Close stops the poll loop and drops the cached connections.
 func (t *Tracker) Close() {
 	close(t.stop)
 	<-t.done
+	t.mu.Lock()
+	clients := t.clients
+	t.clients = make(map[string]*Client)
+	t.mu.Unlock()
+	for _, c := range clients {
+		c.Close()
+	}
 }
 
 func (t *Tracker) loop() {
@@ -68,7 +82,7 @@ func (t *Tracker) pollOnce() {
 	addrs := append([]string(nil), t.addrs...)
 	t.mu.Unlock()
 	for _, addr := range addrs {
-		free, err := statServer(addr)
+		free, err := t.statAddr(addr)
 		t.mu.Lock()
 		if err != nil {
 			t.lastErr[addr] = err
@@ -81,14 +95,31 @@ func (t *Tracker) pollOnce() {
 	}
 }
 
-func statServer(addr string) (int, error) {
-	c, err := Dial(addr)
+// statAddr stats one server over its cached connection, dialing on the
+// first poll (or after a failure dropped the old connection).
+func (t *Tracker) statAddr(addr string) (int, error) {
+	t.mu.Lock()
+	c := t.clients[addr]
+	t.mu.Unlock()
+	if c == nil {
+		var err error
+		c, err = Dial(addr)
+		if err != nil {
+			return 0, err
+		}
+		t.mu.Lock()
+		t.clients[addr] = c
+		t.mu.Unlock()
+	}
+	free, _, _, err := c.Stat()
 	if err != nil {
+		t.mu.Lock()
+		delete(t.clients, addr)
+		t.mu.Unlock()
+		c.Close()
 		return 0, err
 	}
-	defer c.Close()
-	free, _, _, err := c.Stat()
-	return free, err
+	return free, nil
 }
 
 // TrackerEntry is one row of the tracker's answer.

@@ -2,7 +2,11 @@ package wire
 
 import (
 	"bytes"
+	"encoding/binary"
+	"errors"
 	"fmt"
+	"io"
+	"net"
 	"sync"
 	"testing"
 
@@ -166,5 +170,420 @@ func TestFreeOfBadHandle(t *testing.T) {
 	_, c := startServer(t, 128, 2)
 	if err := c.Free(7); err == nil {
 		t.Fatal("free of unallocated handle should fail")
+	}
+}
+
+func TestDialNegotiatesV2(t *testing.T) {
+	_, c := startServer(t, 4096, 4)
+	if c.Version() != ProtocolV2 {
+		t.Fatalf("version = %d, want %d", c.Version(), ProtocolV2)
+	}
+	if c.ChunkSize() != 4096 {
+		t.Fatalf("chunk size = %d, want 4096", c.ChunkSize())
+	}
+}
+
+// One pipelined client shared by many goroutines: interleaved responses
+// on a single connection must route back to the right caller.
+func TestPipelinedSharedClientNoCrossTalk(t *testing.T) {
+	_, c := startServer(t, 1024, 64)
+	const workers, ops = 8, 25
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	for g := 0; g < workers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			owner := sponge.TaskID{Node: g, PID: int64(g) + 1}
+			buf := make([]byte, 1024)
+			for i := 0; i < ops; i++ {
+				data := bytes.Repeat([]byte{byte(g)*31 + byte(i)}, 64+g*16)
+				h, err := c.AllocWrite(owner, data)
+				if err != nil {
+					errs <- err
+					return
+				}
+				n, err := c.ReadInto(h, buf)
+				if err != nil || !bytes.Equal(buf[:n], data) {
+					errs <- fmt.Errorf("g%d i%d cross-talk or corrupt (%v)", g, i, err)
+					return
+				}
+				if err := c.Free(h); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+func TestReadInto(t *testing.T) {
+	_, c := startServer(t, 4096, 4)
+	data := bytes.Repeat([]byte("zc"), 200)
+	h, err := c.AllocWrite(sponge.TaskID{Node: 1, PID: 5}, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 4096)
+	n, err := c.ReadInto(h, buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf[:n], data) {
+		t.Fatalf("ReadInto got %d bytes, want %d", n, len(data))
+	}
+	// A too-small buffer fails with io.ErrShortBuffer but must not
+	// poison the connection.
+	if _, err := c.ReadInto(h, make([]byte, 10)); !errors.Is(err, io.ErrShortBuffer) {
+		t.Fatalf("short buffer err = %v, want io.ErrShortBuffer", err)
+	}
+	if n, err := c.ReadInto(h, buf); err != nil || !bytes.Equal(buf[:n], data) {
+		t.Fatalf("connection unusable after short-buffer read: %v", err)
+	}
+}
+
+func TestDialPool(t *testing.T) {
+	srv, _ := startServer(t, 1024, 64)
+	p, err := DialPool(srv.Addr(), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	if p.Size() != 3 || p.ChunkSize() != 1024 {
+		t.Fatalf("pool size=%d chunk=%d", p.Size(), p.ChunkSize())
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, 6)
+	for g := 0; g < 6; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			owner := sponge.TaskID{Node: g, PID: int64(g) + 1}
+			for i := 0; i < 10; i++ {
+				data := []byte(fmt.Sprintf("pool-g%d-i%d", g, i))
+				h, err := p.AllocWrite(owner, data)
+				if err != nil {
+					errs <- err
+					return
+				}
+				got, err := p.Read(h)
+				if err != nil || !bytes.Equal(got, data) {
+					errs <- fmt.Errorf("pool g%d i%d corrupt (%v)", g, i, err)
+					return
+				}
+				if err := p.Free(h); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+// A lock-step v1 client against the v2 server: the server must keep the
+// connection in v1 framing and serve the full op set.
+func TestLockStepClientAgainstV2Server(t *testing.T) {
+	srv, _ := startServer(t, 4096, 4)
+	c, err := DialV1(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if c.Version() != ProtocolV1 {
+		t.Fatalf("version = %d, want %d", c.Version(), ProtocolV1)
+	}
+	data := bytes.Repeat([]byte("v1"), 50)
+	h, err := c.AllocWrite(sponge.TaskID{Node: 2, PID: 9}, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.Read(h)
+	if err != nil || !bytes.Equal(got, data) {
+		t.Fatalf("v1 read corrupt (%v)", err)
+	}
+	buf := make([]byte, 4096)
+	if n, err := c.ReadInto(h, buf); err != nil || !bytes.Equal(buf[:n], data) {
+		t.Fatalf("v1 ReadInto corrupt (%v)", err)
+	}
+	if err := c.Free(h); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Register(9); err != nil {
+		t.Fatal(err)
+	}
+	if alive, _ := c.Ping(9); !alive {
+		t.Fatal("registered pid should be alive")
+	}
+}
+
+// fakeV1Server speaks the seed protocol: v1 framing only, and it
+// answers OpHello like any unknown op — StatusBadRequest — which is
+// exactly what a pre-v2 daemon does.
+func fakeV1Server(t *testing.T, pool *sponge.Pool) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	legacy := &Server{pool: pool, live: make(map[uint64]bool)}
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func() {
+				defer conn.Close()
+				limit := pool.ChunkSize() + frameSlack
+				for {
+					req, err := readFrame(conn, limit)
+					if err != nil {
+						return
+					}
+					var resp []byte
+					if len(req) >= 1 && req[0] == OpHello {
+						resp = []byte{StatusBadRequest}
+					} else {
+						resp = legacy.dispatch(req)
+					}
+					if err := writeFrame(conn, resp); err != nil {
+						return
+					}
+				}
+			}()
+		}
+	}()
+	return ln.Addr().String()
+}
+
+// Dial against a v1-only server must fall back to lock-step mode and
+// still work end to end.
+func TestDialFallsBackToV1Server(t *testing.T) {
+	addr := fakeV1Server(t, sponge.NewPool(2048, 4))
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if c.Version() != ProtocolV1 {
+		t.Fatalf("version = %d, want fallback to %d", c.Version(), ProtocolV1)
+	}
+	if c.ChunkSize() != 2048 {
+		t.Fatalf("chunk size = %d, want 2048 (from stat)", c.ChunkSize())
+	}
+	data := []byte("fallback")
+	h, err := c.AllocWrite(sponge.TaskID{Node: 1, PID: 3}, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, err := c.Read(h); err != nil || !bytes.Equal(got, data) {
+		t.Fatalf("fallback read corrupt (%v)", err)
+	}
+}
+
+// The seed client swallowed a failed initial Stat and guessed a 1 MiB
+// chunk size; Dial must now propagate the failure.
+func TestDialPropagatesHandshakeError(t *testing.T) {
+	// Server that accepts and slams the connection: the hello (or, for a
+	// v1 peer, the stat) can never complete.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			conn.Close()
+		}
+	}()
+	if _, err := Dial(ln.Addr().String()); err == nil {
+		t.Fatal("Dial against a dead handshake should fail, not guess a chunk size")
+	}
+}
+
+func TestDialPropagatesStatErrorOnV1Fallback(t *testing.T) {
+	// Server that rejects the hello (v1 behaviour) and then dies before
+	// answering the fallback Stat.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func() {
+				defer conn.Close()
+				if _, err := readFrame(conn, handshakeLimit); err != nil {
+					return
+				}
+				writeFrame(conn, []byte{StatusBadRequest}) // reject hello
+				readFrame(conn, handshakeLimit)            // swallow the Stat, answer nothing
+			}()
+		}
+	}()
+	if _, err := Dial(ln.Addr().String()); err == nil {
+		t.Fatal("Dial must propagate the fallback Stat error")
+	}
+}
+
+// dialRawV2 opens a raw socket and completes the hello by hand so tests
+// can then speak malformed v2 frames.
+func dialRawV2(t *testing.T, addr string) net.Conn {
+	t.Helper()
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { conn.Close() })
+	if err := writeFrame(conn, []byte{OpHello, ProtocolV2}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := readFrame(conn, handshakeLimit); err != nil {
+		t.Fatal(err)
+	}
+	return conn
+}
+
+func TestServerDropsOversizedV2Frame(t *testing.T) {
+	srv, _ := startServer(t, 1024, 4)
+	conn := dialRawV2(t, srv.Addr())
+	var hdr [8]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], 1<<30) // far past chunk+slack
+	binary.LittleEndian.PutUint32(hdr[4:8], 1)
+	if _, err := conn.Write(hdr[:]); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := conn.Read(make([]byte, 1)); err != io.EOF {
+		t.Fatalf("read after oversized frame = %v, want EOF (connection dropped)", err)
+	}
+}
+
+func TestServerSurvivesTruncatedFrame(t *testing.T) {
+	srv, _ := startServer(t, 1024, 4)
+	conn := dialRawV2(t, srv.Addr())
+	// Promise 50 bytes, deliver 10, hang up.
+	var hdr [8]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], 50)
+	binary.LittleEndian.PutUint32(hdr[4:8], 7)
+	if _, err := conn.Write(hdr[:]); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := conn.Write(make([]byte, 10)); err != nil {
+		t.Fatal(err)
+	}
+	conn.Close()
+	// The server must shrug the connection off and keep serving others.
+	c2, err := Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+	if _, _, _, err := c2.Stat(); err != nil {
+		t.Fatalf("server unhealthy after truncated frame: %v", err)
+	}
+}
+
+// fakeV2Server negotiates the hello and then hands the connection to
+// misbehave, which can violate the protocol at will.
+func fakeV2Server(t *testing.T, chunkSize int, misbehave func(conn net.Conn)) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func() {
+				defer conn.Close()
+				if _, err := readFrame(conn, handshakeLimit); err != nil {
+					return
+				}
+				resp := make([]byte, helloRespLen)
+				resp[0] = StatusOK
+				resp[1] = ProtocolV2
+				binary.LittleEndian.PutUint32(resp[10:14], uint32(chunkSize))
+				if err := writeFrame(conn, resp); err != nil {
+					return
+				}
+				misbehave(conn)
+			}()
+		}
+	}()
+	return ln.Addr().String()
+}
+
+func TestClientRejectsOversizedResponseFrame(t *testing.T) {
+	addr := fakeV2Server(t, 1024, func(conn net.Conn) {
+		// Swallow whatever request arrives, answer with an impossible
+		// frame length.
+		buf := make([]byte, 256)
+		if _, err := conn.Read(buf); err != nil {
+			return
+		}
+		var hdr [8]byte
+		binary.LittleEndian.PutUint32(hdr[0:4], 1<<30)
+		binary.LittleEndian.PutUint32(hdr[4:8], 1)
+		conn.Write(hdr[:])
+		// Hold the connection open; the client must bail on its own.
+		io.Copy(io.Discard, conn)
+	})
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, _, _, err := c.Stat(); err == nil {
+		t.Fatal("oversized response frame should fail the request")
+	}
+	// The violation poisons the connection: later requests fail fast.
+	if _, err := c.Read(0); err == nil {
+		t.Fatal("connection should be poisoned after a protocol violation")
+	}
+}
+
+func TestClientRejectsTruncatedResponse(t *testing.T) {
+	addr := fakeV2Server(t, 1024, func(conn net.Conn) {
+		buf := make([]byte, 256)
+		if _, err := conn.Read(buf); err != nil {
+			return
+		}
+		// Promise a 100-byte response, send 3 bytes of it, hang up.
+		var hdr [8]byte
+		binary.LittleEndian.PutUint32(hdr[0:4], 100)
+		binary.LittleEndian.PutUint32(hdr[4:8], 1)
+		conn.Write(hdr[:])
+		conn.Write([]byte{StatusOK, 1, 2})
+	})
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := c.Read(0); err == nil {
+		t.Fatal("truncated response should fail the request")
 	}
 }

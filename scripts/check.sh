@@ -1,0 +1,14 @@
+#!/bin/sh
+# Tier-2 checks: static analysis plus race-detector runs over the
+# concurrent hot paths (the wire protocol's demux/dispatch and the spill
+# targets). Run on every PR alongside the tier-1 build-and-test.
+set -e
+cd "$(dirname "$0")/.."
+
+echo "== go vet ./... =="
+go vet ./...
+
+echo "== go test -race ./internal/sponge/... ./internal/spill/... =="
+go test -race -count=1 ./internal/sponge/... ./internal/spill/...
+
+echo "tier2 OK"
