@@ -12,4 +12,10 @@ tier2:
 bench-wire:
 	go test ./internal/sponge/wire -run '^$$' -bench BenchmarkWire -benchtime 1s -cpu=1,4,16
 
-.PHONY: tier1 tier2 bench-wire
+# Macro perf harness: host-level cost of the three paper jobs, legacy
+# allocation machinery vs the pooled hot path; regenerates
+# BENCH_macro.json (tune with BENCH_SIZE / BENCH_WORKERS / BENCH_OUT).
+bench:
+	./scripts/bench.sh
+
+.PHONY: tier1 tier2 bench-wire bench

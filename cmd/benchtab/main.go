@@ -4,8 +4,14 @@
 // Usage:
 //
 //	benchtab [-size f] [-spills n] [tab1|tab2|fig1a|fig1b|fig4|fig5|fig6|grepvar|failtab|ablate|all]
+//	benchtab [-perfsize f] [-workers n] [-out file.json] perf
 //
 // -size scales the macro datasets (1.0 = the paper's 10 GB inputs).
+//
+// The perf experiment is the host-level macro benchmark: it times the
+// three jobs under testing.B in both the seed-equivalent legacy
+// allocation mode and the pooled hot path, and emits the comparison as
+// JSON (checked in as BENCH_macro.json). It is not part of "all".
 package main
 
 import (
@@ -21,10 +27,17 @@ import (
 func main() {
 	size := flag.Float64("size", 1.0, "dataset scale factor (1.0 = paper size)")
 	spills := flag.Int("spills", 10000, "microbenchmark spill count")
+	perfSize := flag.Float64("perfsize", 0.05, "dataset scale factor for the perf experiment")
+	perfWorkers := flag.Int("workers", 8, "cluster size for the perf experiment")
+	perfOut := flag.String("out", "", "write the perf experiment's JSON report to this file")
 	flag.Parse()
 	which := "all"
 	if flag.NArg() > 0 {
 		which = flag.Arg(0)
+	}
+	if which == "perf" {
+		perf(*perfSize, *perfWorkers, *perfOut)
+		return
 	}
 	run := func(name string, fn func()) {
 		if which == "all" || which == name {
@@ -47,6 +60,21 @@ func main() {
 	default:
 		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", which)
 		os.Exit(2)
+	}
+}
+
+func perf(size float64, workers int, out string) {
+	fmt.Printf("== Macro perf: host cost per job run (size %.2f, %d workers) ==\n", size, workers)
+	rep := bench.RunPerf(size, workers)
+	fmt.Println(bench.FormatTable(bench.PerfHeader, rep.Rows()))
+	if out != "" {
+		if err := os.WriteFile(out, rep.JSON(), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "write %s: %v\n", out, err)
+			os.Exit(1)
+		}
+		fmt.Printf("report written to %s\n", out)
+	} else {
+		os.Stdout.Write(rep.JSON())
 	}
 }
 

@@ -73,6 +73,12 @@ type MacroConfig struct {
 	SizeFactor float64
 	// Workers overrides the cluster size (default 29).
 	Workers int
+	// LegacyAlloc reproduces the seed's allocation behaviour — boxed
+	// simulator events, no process reuse, no chunk-buffer recycling — so
+	// the perf harness can measure before/after in one binary. Simulated
+	// results are identical either way; only host-level allocation
+	// changes.
+	LegacyAlloc bool
 }
 
 // MacroResult is one macrobenchmark run's outcome.
@@ -98,15 +104,16 @@ type MacroResult struct {
 	GroupOut    map[string][]pig.Tuple
 }
 
-// medianKey encodes a float64 so byte order equals numeric order (all
-// the dataset's values are non-negative).
-func medianKey(v float64) []byte {
+// medianKey encodes a float64 into dst so byte order equals numeric
+// order (all the dataset's values are non-negative). The caller passes a
+// reusable scratch buffer: the sort buffer copies emitted keys, and one
+// fresh 8-byte key per record was the job's largest allocation source.
+func medianKey(dst *[8]byte, v float64) []byte {
 	bits := math.Float64bits(v)
-	var k [8]byte
 	for i := 0; i < 8; i++ {
-		k[i] = byte(bits >> (56 - 8*i))
+		dst[i] = byte(bits >> (56 - 8*i))
 	}
-	return k[:]
+	return dst[:]
 }
 
 // RunMacro executes one cell of the macro experiments on a fresh
@@ -139,10 +146,12 @@ func RunMacro(kind JobKind, mc MacroConfig) MacroResult {
 	}
 
 	sim := simtime.New()
+	sim.SetLegacyAlloc(mc.LegacyAlloc)
 	c := cluster.New(sim, cfg)
 	fs := dfs.New(c)
 	eng := mapreduce.NewEngine(c, fs)
 	scfg := sponge.DefaultConfig()
+	scfg.DisableBufferRecycling = mc.LegacyAlloc
 	scfg.RemoteDisabled = mc.RemoteDisabled
 	scfg.Remote = dfs.NewSpillStore(fs)
 	svc := sponge.Start(c, scfg)
@@ -229,6 +238,9 @@ func medianJob(c *cluster.Cluster, fs *dfs.DFS, factory spill.Factory, mc MacroC
 		pad = 0
 	}
 	var seen int64
+	// Tasks run one at a time under the simulator, so one scratch key
+	// buffer is safely shared by every map task of the job.
+	var kbuf [8]byte
 	return mapreduce.JobConf{
 		Name:        "median",
 		Input:       nums.Input("/in/numbers", splits),
@@ -236,7 +248,7 @@ func medianJob(c *cluster.Cluster, fs *dfs.DFS, factory spill.Factory, mc MacroC
 		Map: func(ctx *mapreduce.TaskContext, k, v []byte, emit mapreduce.Emit) {
 			// Key: order-preserving encoding; value: the rest of the
 			// record, so the reduce input carries the full data volume.
-			emit(medianKey(workload.DecodeNumber(v)), v[8:])
+			emit(medianKey(&kbuf, workload.DecodeNumber(v)), v[8:])
 		},
 		Reduce: func(ctx *mapreduce.TaskContext, key []byte, vals *mapreduce.ValueIter, emit mapreduce.Emit) {
 			for {

@@ -137,12 +137,23 @@ func (d *Disk) noteOp(stream StreamID) {
 }
 
 // interleaveWidth is the number of distinct streams among recent ops.
+// The ring is small and this runs on every platter operation, so the
+// dedup scans a stack array instead of building a map.
 func (d *Disk) interleaveWidth() int {
-	seen := make(map[StreamID]bool, d.ringLen)
+	var seen [len(d.ring)]StreamID
+	w := 0
+outer:
 	for i := 0; i < d.ringLen; i++ {
-		seen[d.ring[i]] = true
+		s := d.ring[i]
+		for j := 0; j < w; j++ {
+			if seen[j] == s {
+				continue outer
+			}
+		}
+		seen[w] = s
+		w++
 	}
-	return len(seen)
+	return w
 }
 
 // effectiveReadahead is the burst size the OS sustains per stream: the

@@ -1,0 +1,28 @@
+package simtime
+
+import "container/heap"
+
+// boxedEventHeap is the seed implementation's event queue: a
+// container/heap of *event, which boxes every scheduled event behind a
+// fresh allocation. It is kept only for SetLegacyAlloc(true), so the
+// benchmark harness can measure the typed value-heap engine against the
+// allocation behaviour it replaced without checking out old code.
+type boxedEventHeap []*event
+
+func (h boxedEventHeap) Len() int { return len(h) }
+func (h boxedEventHeap) Less(i, j int) bool {
+	return h[i].before(h[j])
+}
+func (h boxedEventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *boxedEventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
+func (h *boxedEventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+
+func (h *boxedEventHeap) push(e *event) { heap.Push(h, e) }
+func (h *boxedEventHeap) pop() *event   { return heap.Pop(h).(*event) }

@@ -10,7 +10,6 @@
 package simtime
 
 import (
-	"container/heap"
 	"fmt"
 	"sort"
 	"time"
@@ -56,39 +55,87 @@ func (t Time) Sub(u Time) Duration { return Duration(t - u) }
 func (t Time) String() string { return time.Duration(t).String() }
 
 // event is a scheduled resumption of a process or invocation of a callback.
+// Events are stored by value in the queue: the hot path of the simulator is
+// scheduling (every Sleep, every device charge), and boxing each event
+// behind a pointer — as the original container/heap queue did — made the
+// scheduler the single largest allocation site in the macro benchmarks.
 type event struct {
-	at     Time
-	seq    uint64
-	proc   *Proc  // non-nil: resume this process
-	fn     func() // non-nil: run this callback in scheduler context
-	daemon bool   // event belongs to a daemon process
+	at      Time
+	seq     uint64
+	proc    *Proc  // non-nil: resume this process
+	procGen uint64 // incarnation of proc this event targets (proc reuse)
+	fn      func() // non-nil: run this callback in scheduler context
+	daemon  bool   // event belongs to a daemon process
 }
 
-type eventHeap []*event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
+// before orders events by (time, sequence number); the sequence tiebreak
+// keeps same-instant events in schedule order, which the determinism
+// guarantee depends on.
+func (e *event) before(o *event) bool {
+	if e.at != o.at {
+		return e.at < o.at
 	}
-	return h[i].seq < h[j].seq
+	return e.seq < o.seq
 }
-func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
-func (h *eventHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
-	return e
+
+// eventQueue is a typed binary min-heap of events stored by value. Push
+// and pop reuse the slice's capacity, so the steady state allocates
+// nothing; a popped slot is zeroed to drop fn/proc references.
+type eventQueue struct {
+	ev []event
 }
+
+func (q *eventQueue) len() int { return len(q.ev) }
+
+func (q *eventQueue) push(e event) {
+	q.ev = append(q.ev, e)
+	i := len(q.ev) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !q.ev[i].before(&q.ev[parent]) {
+			break
+		}
+		q.ev[i], q.ev[parent] = q.ev[parent], q.ev[i]
+		i = parent
+	}
+}
+
+func (q *eventQueue) pop() event {
+	top := q.ev[0]
+	n := len(q.ev) - 1
+	q.ev[0] = q.ev[n]
+	q.ev[n] = event{}
+	q.ev = q.ev[:n]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		min := i
+		if l < n && q.ev[l].before(&q.ev[min]) {
+			min = l
+		}
+		if r < n && q.ev[r].before(&q.ev[min]) {
+			min = r
+		}
+		if min == i {
+			break
+		}
+		q.ev[i], q.ev[min] = q.ev[min], q.ev[i]
+		i = min
+	}
+	return top
+}
+
+// maxProcFree bounds the pool of finished processes kept for reuse. Every
+// asynchronous chunk spill spawns a writer process; recycling the Proc,
+// its resume channel, and its goroutine keeps steady-state spawning
+// allocation-free. Beyond the bound, finished goroutines simply exit.
+const maxProcFree = 256
 
 // Sim is a discrete-event simulation instance. It is not safe for use from
 // multiple OS threads except through the process mechanism it provides.
 type Sim struct {
 	now    Time
-	events eventHeap
+	events eventQueue
 	seq    uint64
 	yield  chan struct{} // handshake: running proc -> scheduler
 	procs  map[*Proc]struct{}
@@ -99,6 +146,19 @@ type Sim struct {
 	// the clock advancing unboundedly).
 	pending    int
 	parkedUser int
+
+	// procFree holds finished processes whose goroutines are parked
+	// awaiting reuse by the next Spawn.
+	procFree []*Proc
+
+	// legacyAlloc reproduces the seed's allocation behaviour (boxed
+	// events, no process reuse) for before/after benchmarking; see
+	// SetLegacyAlloc.
+	legacyAlloc  bool
+	legacyEvents boxedEventHeap
+
+	// Stats.
+	spawns, procReuses int64
 }
 
 // New returns a fresh simulation with the clock at zero and no processes.
@@ -108,6 +168,18 @@ func New() *Sim {
 		procs: make(map[*Proc]struct{}),
 	}
 }
+
+// SetLegacyAlloc toggles the seed implementation's allocation behaviour:
+// every scheduled event is boxed behind a fresh pointer (the old
+// container/heap queue) and finished processes are not reused. Event
+// ordering and timing are identical either way; only allocator pressure
+// differs. The benchmark harness uses this to measure the zero-allocation
+// engine against its predecessor in a single binary. Must be called
+// before the first Spawn.
+func (s *Sim) SetLegacyAlloc(on bool) { s.legacyAlloc = on }
+
+// ProcStats returns (total Spawn calls, spawns satisfied by proc reuse).
+func (s *Sim) ProcStats() (spawns, reuses int64) { return s.spawns, s.procReuses }
 
 // Now returns the current virtual time.
 func (s *Sim) Now() Time { return s.now }
@@ -122,7 +194,33 @@ func (s *Sim) schedule(at Time, p *Proc, fn func()) {
 	if !daemon {
 		s.pending++
 	}
-	heap.Push(&s.events, &event{at: at, seq: s.seq, proc: p, fn: fn, daemon: daemon})
+	var gen uint64
+	if p != nil {
+		gen = p.gen
+	}
+	if s.legacyAlloc {
+		// Boxed on purpose: one heap allocation per event, as the seed
+		// implementation's container/heap queue did.
+		s.legacyEvents.push(&event{at: at, seq: s.seq, proc: p, procGen: gen, fn: fn, daemon: daemon})
+		return
+	}
+	s.events.push(event{at: at, seq: s.seq, proc: p, procGen: gen, fn: fn, daemon: daemon})
+}
+
+// nextEvent pops the earliest event from whichever queue is active.
+func (s *Sim) nextEvent() event {
+	if s.legacyAlloc {
+		return *s.legacyEvents.pop()
+	}
+	return s.events.pop()
+}
+
+// queuedEvents reports how many events are waiting.
+func (s *Sim) queuedEvents() int {
+	if s.legacyAlloc {
+		return s.legacyEvents.Len()
+	}
+	return s.events.len()
 }
 
 // After schedules fn to run in scheduler context after d elapses. fn must
@@ -154,6 +252,11 @@ type Proc struct {
 	killed bool
 	// parkedOn describes what a parked proc is waiting for (diagnostics).
 	parkedOn string
+	// fn is the body the goroutine runs on its next resumption; gen
+	// counts incarnations so events scheduled for a finished life cannot
+	// resume a reused Proc.
+	fn  func(p *Proc)
+	gen uint64
 }
 
 // interrupted is the sentinel panic payload used to unwind a killed process.
@@ -169,37 +272,80 @@ func (p *Proc) Name() string { return p.name }
 func (p *Proc) Now() Time { return p.sim.now }
 
 // Spawn creates a process running fn and schedules it to start now. The
-// name is used in diagnostics only.
+// name is used in diagnostics only. Finished processes (Proc, resume
+// channel, goroutine) are reused by later Spawns, so steady-state
+// spawning — e.g. one writer process per spilled chunk — allocates
+// nothing.
 func (s *Sim) Spawn(name string, fn func(p *Proc)) *Proc {
 	s.nextID++
-	p := &Proc{
-		sim:    s,
-		id:     s.nextID,
-		name:   name,
-		resume: make(chan struct{}),
-		state:  stateNew,
+	s.spawns++
+	var p *Proc
+	if n := len(s.procFree); n > 0 && !s.legacyAlloc {
+		p = s.procFree[n-1]
+		s.procFree[n-1] = nil
+		s.procFree = s.procFree[:n-1]
+		p.id = s.nextID
+		p.name = name
+		p.daemon = false
+		p.killed = false
+		p.parkedOn = ""
+		p.gen++
+		p.fn = fn
+		s.procReuses++
+	} else {
+		p = &Proc{
+			sim:    s,
+			id:     s.nextID,
+			name:   name,
+			resume: make(chan struct{}),
+			state:  stateNew,
+			fn:     fn,
+		}
+		go p.loop()
 	}
 	s.procs[p] = struct{}{}
-	go func() {
-		<-p.resume // wait for first scheduling
-		defer func() {
-			if r := recover(); r != nil {
-				if _, ok := r.(interrupted); !ok {
-					// Re-panic on the scheduler's goroutine would lose the
-					// stack; report and crash here instead.
-					panic(r)
-				}
-			}
-			p.state = stateDone
-			delete(s.procs, p)
-			s.yield <- struct{}{}
-		}()
-		p.state = stateRunning
-		fn(p)
-	}()
 	p.state = stateRunnable
 	s.schedule(s.now, p, nil)
 	return p
+}
+
+// loop is the body of a process goroutine: run one life, park the Proc
+// for reuse, wait for the next Spawn to re-arm it. Only one of the
+// scheduler and the running process executes at a time, so procFree and
+// the Proc fields are handed over race-free through the yield/resume
+// channel pair.
+func (p *Proc) loop() {
+	s := p.sim
+	for {
+		<-p.resume // wait for first scheduling of this life
+		p.runLife()
+		recycle := len(s.procFree) < maxProcFree && !s.legacyAlloc
+		if recycle {
+			s.procFree = append(s.procFree, p)
+		}
+		s.yield <- struct{}{}
+		if !recycle {
+			return
+		}
+	}
+}
+
+// runLife executes the process body, unwinding cleanly when killed.
+func (p *Proc) runLife() {
+	defer func() {
+		if r := recover(); r != nil {
+			if _, ok := r.(interrupted); !ok {
+				// Re-panic on the scheduler's goroutine would lose the
+				// stack; report and crash here instead.
+				panic(r)
+			}
+		}
+		p.state = stateDone
+		p.fn = nil
+		delete(p.sim.procs, p)
+	}()
+	p.state = stateRunning
+	p.fn(p)
 }
 
 // SpawnDaemon is Spawn for background service processes (flushers,
@@ -283,8 +429,8 @@ func (p *Proc) Kill() {
 // processes remain parked with nothing left to wake them, Run returns an
 // error describing the deadlock.
 func (s *Sim) Run() (Time, error) {
-	for len(s.events) > 0 && (s.pending > 0 || s.parkedUser > 0) {
-		e := heap.Pop(&s.events).(*event)
+	for s.queuedEvents() > 0 && (s.pending > 0 || s.parkedUser > 0) {
+		e := s.nextEvent()
 		if !e.daemon {
 			s.pending--
 		}
@@ -295,7 +441,9 @@ func (s *Sim) Run() (Time, error) {
 		case e.fn != nil:
 			e.fn()
 		case e.proc != nil:
-			if e.proc.state == stateDone {
+			if e.proc.state == stateDone || e.proc.gen != e.procGen {
+				// Stale event: the process finished (and possibly began a
+				// new life via reuse) after this was scheduled.
 				continue
 			}
 			e.proc.resume <- struct{}{}

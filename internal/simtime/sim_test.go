@@ -322,3 +322,27 @@ func TestPropertyResourceSerialization(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestSpawnRunSteadyStateAllocationFree guards the engine's hot path:
+// once the typed event heap and the process-reuse pool are warm, a full
+// spawn → sleep → finish → run cycle must not touch the Go allocator.
+func TestSpawnRunSteadyStateAllocationFree(t *testing.T) {
+	s := New()
+	cycle := func() {
+		s.Spawn("w", func(p *Proc) {
+			for i := 0; i < 4; i++ {
+				p.Sleep(Millisecond)
+			}
+		})
+		s.MustRun()
+	}
+	for i := 0; i < 16; i++ {
+		cycle() // warm the heap, proc pool and procs map
+	}
+	if avg := testing.AllocsPerRun(200, cycle); avg != 0 {
+		t.Fatalf("steady-state spawn+run allocates %.2f objects per cycle, want 0", avg)
+	}
+	if spawns, reuses := s.ProcStats(); reuses < spawns-17 {
+		t.Fatalf("process reuse not engaged: %d spawns, %d reuses", spawns, reuses)
+	}
+}

@@ -41,19 +41,25 @@ func (a *Agent) EnableEncryption(secret []byte) {
 // EncryptionEnabled reports whether the agent encrypts its chunks.
 func (a *Agent) EncryptionEnabled() bool { return a.cipher != nil }
 
-// nextNonce issues a fresh per-chunk counter block.
-func (c *chunkCipher) nextNonce() []byte {
+// nextNonce issues a fresh per-chunk nonce sequence number. Chunk
+// references store the bare uint64 (zero = unencrypted) and the 16-byte
+// counter block is rebuilt on the stack at seal/open time, so the write
+// path does not allocate a nonce per chunk.
+func (c *chunkCipher) nextNonce() uint64 {
 	c.seq++
-	iv := make([]byte, aes.BlockSize)
-	binary.LittleEndian.PutUint64(iv, c.seq)
-	return iv
+	return c.seq
 }
 
-// seal encrypts data in place under the given nonce and charges CPU.
+// seal encrypts data in place under the given nonce sequence and charges
+// CPU. Working in place means the staging buffer (write side) or the
+// fetched chunk buffer (read side) is transformed directly — no sealed
+// copy exists anywhere in the pipeline.
 func (c *chunkCipher) seal(p *simtime.Proc, node interface {
 	VirtualOf(int) int64
-}, nonce, data []byte) {
-	cipher.NewCTR(c.block, nonce).XORKeyStream(data, data)
+}, seq uint64, data []byte) {
+	var iv [aes.BlockSize]byte
+	binary.LittleEndian.PutUint64(iv[:], seq)
+	cipher.NewCTR(c.block, iv[:]).XORKeyStream(data, data)
 	v := node.VirtualOf(len(data))
 	p.Sleep(simtime.Duration(float64(v) / float64(c.rate) * float64(simtime.Second)))
 }
@@ -61,6 +67,6 @@ func (c *chunkCipher) seal(p *simtime.Proc, node interface {
 // open decrypts data in place (CTR mode is symmetric).
 func (c *chunkCipher) open(p *simtime.Proc, node interface {
 	VirtualOf(int) int64
-}, nonce, data []byte) {
-	c.seal(p, node, nonce, data)
+}, seq uint64, data []byte) {
+	c.seal(p, node, seq, data)
 }

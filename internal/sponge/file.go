@@ -16,14 +16,15 @@ type FileStats struct {
 
 // chunkRef records where one chunk of the file lives. Disk and remote-FS
 // chunks carry their payload here because the device models charge time
-// but store no bytes.
+// but store no bytes; the carried buffer comes from the service's chunk
+// pool and is recycled on Delete.
 type chunkRef struct {
 	kind    ChunkKind
 	node    int // hosting node for memory chunks
 	handle  int // pool handle for memory chunks
 	data    []byte
 	size    int
-	nonce   []byte // per-chunk counter block when the agent encrypts
+	nonce   uint64 // per-chunk counter sequence when the agent encrypts; 0 = plaintext
 	pending bool   // async write still in flight
 }
 
@@ -77,6 +78,18 @@ type File struct {
 	prefetchBuf   []byte
 	prefetchDone  *simtime.Signal
 	prefetchErr   error
+	// prefetchGen counts prefetch epochs. Every event that invalidates an
+	// in-flight prefetch (a new prefetch, Rewind, Delete) bumps it; a
+	// prefetcher only delivers if the generation it was spawned under is
+	// still current, so an abandoned fetch can never feed a *restarted*
+	// prefetch of the same chunk index or leak its recycled buffer.
+	prefetchGen uint64
+
+	// writerName and prefetchName are the diagnostic names given to the
+	// async writer and prefetcher processes, precomputed so the per-chunk
+	// hot path does not format strings.
+	writerName   string
+	prefetchName string
 }
 
 // Create makes an empty SpongeFile owned by the agent's task. Creation
@@ -85,11 +98,13 @@ func (a *Agent) Create(p *simtime.Proc, name string) *File {
 	f := &File{
 		agent:         a,
 		name:          name,
-		buf:           make([]byte, a.svc.chunkReal),
+		buf:           a.svc.getBuf(),
 		writersDone:   simtime.NewSignal(name + ".writers"),
 		prefetchDone:  simtime.NewSignal(name + ".prefetch"),
 		prefetchChunk: -1,
 		curChunk:      -1,
+		writerName:    name + ".w",
+		prefetchName:  name + ".pf",
 	}
 	depth := a.svc.Config.AsyncWriteDepth
 	if depth > 0 {
@@ -143,15 +158,14 @@ func (f *File) flushChunk(p *simtime.Proc) error {
 	f.agent.ChunksSpilled++
 
 	// With encryption enabled, seal the chunk before it leaves the task
-	// (§3.1.4); the sealed copy is what every medium stores.
+	// (§3.1.4). Sealing happens in place in the staging buffer: the local
+	// path copies it into the pool slab and the async path copies it into
+	// the hand-off buffer, so no separate sealed copy ever exists.
 	plain := f.buf[:n]
-	var nonce []byte
+	var nonce uint64
 	if f.agent.cipher != nil {
-		sealed := make([]byte, n)
-		copy(sealed, plain)
 		nonce = f.agent.cipher.nextNonce()
-		f.agent.cipher.seal(p, f.agent.node, nonce, sealed)
-		plain = sealed
+		f.agent.cipher.seal(p, f.agent.node, nonce, plain)
 	}
 
 	// 1. Local sponge memory through shared memory (or through the local
@@ -179,11 +193,14 @@ func (f *File) flushChunk(p *simtime.Proc) error {
 		}
 	}
 
-	// 2..4. Non-local media: hand the payload to an async writer. The
-	// hand-off copy is real and is charged; the writer then tries remote
-	// sponge servers from the (possibly stale) free list, the local
-	// disk, and finally the remote store.
-	payload := make([]byte, n)
+	// 2..4. Non-local media: hand the payload to an async writer in a
+	// recycled chunk buffer. The hand-off copy is real and is charged; the
+	// writer then tries remote sponge servers from the (possibly stale)
+	// free list, the local disk, and finally the remote store. References
+	// that carry no payload (remote memory stores the bytes in its pool)
+	// return the buffer immediately; disk and remote-FS references keep it
+	// until Delete.
+	payload := f.agent.svc.getBuf()[:n]
 	copy(payload, plain)
 	f.agent.node.ChargeCopy(p, n)
 	idx := len(f.chunks)
@@ -195,6 +212,9 @@ func (f *File) flushChunk(p *simtime.Proc) error {
 		ref.nonce = nonce
 		f.chunks[idx] = ref
 		f.stats.ByKind[ref.kind]++
+		if ref.data == nil {
+			f.agent.svc.putBuf(payload)
+		}
 		f.outstanding--
 		if f.asyncSlots != nil {
 			f.asyncSlots.Release()
@@ -211,11 +231,14 @@ func (f *File) flushChunk(p *simtime.Proc) error {
 		ref.nonce = nonce
 		f.chunks[idx] = ref
 		f.stats.ByKind[ref.kind]++
+		if ref.data == nil {
+			f.agent.svc.putBuf(payload)
+		}
 		return nil
 	}
 	f.asyncSlots.Acquire(p) // bounds buffering; blocks when pipeline is full
 	sim := p.Sim()
-	sim.Spawn(fmt.Sprintf("%s.w%d", f.name, idx), write)
+	sim.Spawn(f.writerName, write)
 	return nil
 }
 
@@ -300,6 +323,12 @@ func (f *File) Close(p *simtime.Proc) error {
 		f.writersDone.Wait(p)
 	}
 	f.closed = true
+	// The staging buffer is write-side only; recycle it now rather than at
+	// Delete so it can serve the read side's fetches.
+	if f.buf != nil {
+		f.agent.svc.putBuf(f.buf)
+		f.buf = nil
+	}
 	return nil
 }
 
@@ -325,6 +354,7 @@ func (f *File) Read(p *simtime.Proc, buf []byte) (int, error) {
 		f.readOff += n
 		total += n
 		if f.readOff >= ref.size {
+			f.releaseCur()
 			f.readChunk++
 			f.readOff = 0
 		}
@@ -332,10 +362,21 @@ func (f *File) Read(p *simtime.Proc, buf []byte) (int, error) {
 	return total, nil
 }
 
+// releaseCur recycles the buffer holding the current chunk's bytes, if
+// any, back to the service pool.
+func (f *File) releaseCur() {
+	if f.cur != nil {
+		f.agent.svc.putBuf(f.cur)
+		f.cur = nil
+		f.curChunk = -1
+	}
+}
+
 // ensureChunk makes chunk i's bytes available in f.cur, using the
 // prefetched copy when the prefetcher already fetched it, and kicks off a
 // prefetch of the next non-local chunk.
 func (f *File) ensureChunk(p *simtime.Proc, i int) error {
+	f.releaseCur()
 	// Wait for a prefetch of this very chunk, if one is in flight.
 	if f.prefetchChunk == i {
 		for f.prefetchBuf == nil && f.prefetchErr == nil {
@@ -376,11 +417,21 @@ func (f *File) maybePrefetch(p *simtime.Proc, i int) {
 		return
 	}
 	f.prefetchChunk = i
+	f.prefetchGen++
+	gen := f.prefetchGen
 	sim := p.Sim()
-	sim.Spawn(fmt.Sprintf("%s.pf%d", f.name, i), func(wp *simtime.Proc) {
+	sim.Spawn(f.prefetchName, func(wp *simtime.Proc) {
 		buf, err := f.fetchChunk(wp, i)
-		if f.prefetchChunk != i {
-			return // reader moved on (rewind)
+		if f.prefetchGen != gen {
+			// The reader rewound (or deleted the file) while this fetch
+			// was in flight. Matching on the chunk index alone is not
+			// enough: a post-rewind prefetch of the same index would
+			// accept this fetch's bytes and then double-deliver when its
+			// own fetch lands. Drop the result and recycle the buffer.
+			if buf != nil {
+				f.agent.svc.putBuf(buf)
+			}
+			return
 		}
 		f.prefetchBuf = buf
 		f.prefetchErr = err
@@ -395,33 +446,38 @@ func (f *File) fetchChunk(p *simtime.Proc, i int) ([]byte, error) {
 	if err != nil {
 		return nil, err
 	}
-	if ref := &f.chunks[i]; f.agent.cipher != nil && ref.nonce != nil {
+	if ref := &f.chunks[i]; f.agent.cipher != nil && ref.nonce != 0 {
 		f.agent.cipher.open(p, f.agent.node, ref.nonce, buf)
 	}
 	return buf, nil
 }
 
-// fetchRaw moves the stored (possibly sealed) bytes.
+// fetchRaw moves the stored (possibly sealed) bytes into a recycled chunk
+// buffer; the caller (reader or prefetcher) owns the returned buffer and
+// recycles it when the read cursor moves past the chunk.
 func (f *File) fetchRaw(p *simtime.Proc, i int) ([]byte, error) {
 	ref := &f.chunks[i]
-	buf := make([]byte, ref.size)
+	buf := f.agent.svc.getBuf()[:ref.size]
 	switch ref.kind {
 	case LocalMem:
 		srv := f.agent.svc.Servers[ref.node]
 		if f.agent.UseLocalServerIPC {
 			if _, err := srv.ReadLocalIPC(p, ref.handle, buf); err != nil {
+				f.agent.svc.putBuf(buf)
 				return nil, err
 			}
 			return buf, nil
 		}
 		// Shared memory: no fetch; the per-byte copy is charged in Read.
 		if _, err := srv.Pool().Read(ref.handle, buf); err != nil {
+			f.agent.svc.putBuf(buf)
 			return nil, err
 		}
 		return buf, nil
 	case RemoteMem:
 		srv := f.agent.svc.Servers[ref.node]
 		if _, err := srv.ReadRemote(p, f.agent.node, ref.handle, buf); err != nil {
+			f.agent.svc.putBuf(buf)
 			return nil, err
 		}
 		return buf, nil
@@ -431,15 +487,18 @@ func (f *File) fetchRaw(p *simtime.Proc, i int) ([]byte, error) {
 		return buf, nil
 	case RemoteFS:
 		if f.remoteSpill == nil {
+			f.agent.svc.putBuf(buf)
 			return nil, fmt.Errorf("sponge: %s has remote-fs chunk but no spill", f.name)
 		}
 		// The payload kept with the reference is authoritative
 		// (asynchronous writers may have appended chunks to the store
-		// out of order); the store read charges the scan cost.
+		// out of order); the store read charges the scan cost, using buf
+		// itself as the scratch destination before the payload overwrites
+		// it.
 		if f.firstRemoteFSChunk() == i {
 			f.remoteSpill.Open()
 		}
-		f.remoteSpill.Read(p, make([]byte, ref.size))
+		f.remoteSpill.Read(p, buf)
 		copy(buf, ref.data)
 		return buf, nil
 	}
@@ -457,14 +516,25 @@ func (f *File) firstRemoteFSChunk() int {
 
 // Rewind resets the read cursor to the start of the file, for consumers
 // (such as Pig's multi-pass UDFs) that scan a spill more than once.
+// Bumping the prefetch generation orphans any in-flight prefetch: its
+// eventual result is dropped instead of being mistaken for a post-rewind
+// prefetch of the same chunk index.
 func (f *File) Rewind() {
 	f.readChunk = 0
 	f.readOff = 0
-	f.cur = nil
-	f.curChunk = -1
+	f.releaseCur()
+	f.dropPrefetch()
+}
+
+// dropPrefetch abandons any delivered or in-flight prefetch state.
+func (f *File) dropPrefetch() {
+	if f.prefetchBuf != nil {
+		f.agent.svc.putBuf(f.prefetchBuf)
+	}
 	f.prefetchChunk = -1
 	f.prefetchBuf = nil
 	f.prefetchErr = nil
+	f.prefetchGen++
 }
 
 // Delete frees every chunk via the matching deallocator (§3.1.3).
@@ -487,6 +557,10 @@ func (f *File) Delete(p *simtime.Proc) {
 		case RemoteMem:
 			f.agent.svc.Servers[ref.node].FreeRemote(p, f.agent.node, ref.handle)
 		}
+		if ref.data != nil {
+			f.agent.svc.putBuf(ref.data)
+			ref.data = nil
+		}
 	}
 	if f.hasDisk {
 		f.agent.node.Disk.Delete(f.diskStream)
@@ -494,6 +568,12 @@ func (f *File) Delete(p *simtime.Proc) {
 	if f.remoteSpill != nil {
 		f.remoteSpill.Delete(p)
 	}
+	if f.buf != nil {
+		f.agent.svc.putBuf(f.buf)
+		f.buf = nil
+	}
+	f.releaseCur()
+	f.dropPrefetch()
 	f.chunks = nil
 	f.deleted = true
 	f.closed = true

@@ -437,6 +437,219 @@ func TestPropertyFileRoundTrip(t *testing.T) {
 	}
 }
 
+// TestRewindDropsStalePrefetch is the regression test for stale prefetch
+// delivery: rewinding while a prefetch is in flight used to let the
+// orphaned prefetcher deliver into a *post-rewind* prefetch of the same
+// chunk index (the delivery check matched on index alone), double-filling
+// the prefetch slot and leaking a chunk buffer. The generation counter
+// makes the orphan a no-op; the buffer-pool accounting proves it.
+func TestRewindDropsStalePrefetch(t *testing.T) {
+	r := newRig(t, 3, 2, nil) // 2 local chunks, rest spill remote
+	data := pattern(6*r.svc.ChunkReal(), 11)
+	r.sim.Spawn("t", func(p *simtime.Proc) {
+		agent := r.svc.NewAgent(r.c.Nodes[0])
+		defer agent.Close()
+		f := agent.Create(p, "stale")
+		if err := f.Write(p, data); err != nil {
+			t.Errorf("write: %v", err)
+		}
+		if err := f.Close(p); err != nil {
+			t.Errorf("close: %v", err)
+		}
+		// Step one byte into chunk 1: entering it kicks off a prefetch of
+		// chunk 2 (the first remote chunk) and we rewind immediately, so
+		// that fetch is still crossing the network when the second pass
+		// starts its own prefetch of the same chunk index.
+		intoChunk1 := func() {
+			head := make([]byte, r.svc.ChunkReal()+1)
+			for off := 0; off < len(head); {
+				n, err := f.Read(p, head[off:])
+				if err != nil || n == 0 {
+					t.Errorf("head read: n=%d err=%v", n, err)
+					return
+				}
+				off += n
+			}
+		}
+		intoChunk1()
+		f.Rewind()
+		intoChunk1()
+		// Park the reader so both the orphaned and the fresh prefetch
+		// complete before anything is consumed: index-only stale matching
+		// would let the orphan deliver first and the fresh fetch then
+		// overwrite (and leak) its buffer.
+		p.Sleep(5 * simtime.Second)
+		// Finish the pass; the file was rewound once, so re-read from
+		// chunk 1's second byte onward.
+		got := append([]byte{}, data[:r.svc.ChunkReal()+1]...)
+		buf := make([]byte, 4096)
+		for {
+			n, err := f.Read(p, buf)
+			if err != nil {
+				t.Errorf("read: %v", err)
+				return
+			}
+			if n == 0 {
+				break
+			}
+			got = append(got, buf[:n]...)
+		}
+		if !bytes.Equal(got, data) {
+			t.Error("post-rewind pass corrupt")
+		}
+		f.Delete(p)
+	})
+	r.sim.MustRun()
+	if out := r.svc.BufPoolStats().Outstanding(); out != 0 {
+		t.Fatalf("chunk buffers leaked: outstanding = %d", out)
+	}
+	if free := r.svc.TotalFreeChunks(); free != 6 {
+		t.Fatalf("pool chunks leaked: free = %d of 6", free)
+	}
+}
+
+// TestBufferRecyclingNoAliasing interleaves reads of two files that share
+// the service's chunk-buffer pool — every fetch, hand-off and staging
+// buffer is recycled between them — and checks neither file sees the
+// other's bytes, then that every buffer returns to the pool on Delete.
+func TestBufferRecyclingNoAliasing(t *testing.T) {
+	r := newRig(t, 3, 2, nil)
+	mk := func(seed byte) []byte { return pattern(5*r.svc.ChunkReal()+321, seed) }
+	r.sim.Spawn("t", func(p *simtime.Proc) {
+		agent := r.svc.NewAgent(r.c.Nodes[0])
+		defer agent.Close()
+		var files [2]*File
+		for i := range files {
+			f := agent.Create(p, fmt.Sprintf("alias%d", i))
+			if err := f.Write(p, mk(byte(i)*7+1)); err != nil {
+				t.Errorf("write %d: %v", i, err)
+			}
+			if err := f.Close(p); err != nil {
+				t.Errorf("close %d: %v", i, err)
+			}
+			files[i] = f
+		}
+		var got [2][]byte
+		buf := make([]byte, 1000)
+		readSome := func(i int, limit int) bool {
+			for reads := 0; limit == 0 || reads < limit; reads++ {
+				n, err := files[i].Read(p, buf)
+				if err != nil {
+					t.Errorf("read %d: %v", i, err)
+					return false
+				}
+				if n == 0 {
+					return false
+				}
+				got[i] = append(got[i], buf[:n]...)
+			}
+			return true
+		}
+		// Alternate single reads so the files' chunk buffers churn
+		// through the shared pool together, until file 0 is drained.
+		for readSome(0, 1) {
+			readSome(1, 1)
+		}
+		if !bytes.Equal(got[0], mk(1)) {
+			t.Error("file 0 read another file's bytes")
+		}
+		// Delete file 0 mid-way through file 1's read: every buffer it
+		// held returns to the pool, and file 1's remaining fetches reuse
+		// them. File 1's bytes must come out untouched.
+		files[0].Delete(p)
+		readSome(1, 0)
+		if !bytes.Equal(got[1], mk(8)) {
+			t.Error("file 1 observed bytes from a buffer recycled by Delete")
+		}
+		files[1].Delete(p)
+	})
+	r.sim.MustRun()
+	st := r.svc.BufPoolStats()
+	if st.Outstanding() != 0 {
+		t.Fatalf("chunk buffers leaked: outstanding = %d (stats %+v)", st.Outstanding(), st)
+	}
+	if st.Misses >= st.Gets {
+		t.Fatalf("no buffer was ever recycled: %+v", st)
+	}
+}
+
+// TestEncryptedSpillRecyclesBuffers drives the in-place seal/open path
+// (no sealed copy, uint64 nonces) through every spill medium and checks
+// the plaintext round-trips and the buffer accounting closes.
+func TestEncryptedSpillRecyclesBuffers(t *testing.T) {
+	r := newRig(t, 2, 2, nil) // forces local mem + remote mem + disk
+	data := pattern(9*r.svc.ChunkReal()+55, 13)
+	r.sim.Spawn("t", func(p *simtime.Proc) {
+		agent := r.svc.NewAgent(r.c.Nodes[0])
+		defer agent.Close()
+		agent.EnableEncryption([]byte("sponge secret"))
+		f := agent.Create(p, "sealed")
+		if err := f.Write(p, data); err != nil {
+			t.Errorf("write: %v", err)
+		}
+		if err := f.Close(p); err != nil {
+			t.Errorf("close: %v", err)
+		}
+		for pass := 0; pass < 2; pass++ {
+			got := make([]byte, 0, len(data))
+			buf := make([]byte, 4096)
+			for {
+				n, err := f.Read(p, buf)
+				if err != nil {
+					t.Errorf("pass %d read: %v", pass, err)
+					return
+				}
+				if n == 0 {
+					break
+				}
+				got = append(got, buf[:n]...)
+			}
+			if !bytes.Equal(got, data) {
+				t.Errorf("pass %d: decrypted bytes differ from plaintext", pass)
+			}
+			f.Rewind()
+		}
+		f.Delete(p)
+	})
+	r.sim.MustRun()
+	if out := r.svc.BufPoolStats().Outstanding(); out != 0 {
+		t.Fatalf("chunk buffers leaked: outstanding = %d", out)
+	}
+}
+
+// TestFileWriteSteadyStateAllocationFree guards the local spill hot path:
+// once the file's chunk list, the pool's owner ledger, and the event heap
+// are warm, writing a full chunk must not allocate at all.
+func TestFileWriteSteadyStateAllocationFree(t *testing.T) {
+	r := newRig(t, 1, 512, func(c *ServiceConfig) { c.AsyncWriteDepth = 0 })
+	r.sim.Spawn("t", func(p *simtime.Proc) {
+		agent := r.svc.NewAgent(r.c.Nodes[0])
+		defer agent.Close()
+		f := agent.Create(p, "steady")
+		chunk := pattern(r.svc.ChunkReal(), 3)
+		// Warm up past every amortized growth point (chunk list, held
+		// list, event heap) while staying inside the 512-chunk pool.
+		for i := 0; i < 300; i++ {
+			if err := f.Write(p, chunk); err != nil {
+				t.Errorf("warmup write: %v", err)
+				return
+			}
+		}
+		if avg := testing.AllocsPerRun(100, func() {
+			if err := f.Write(p, chunk); err != nil {
+				t.Errorf("write: %v", err)
+			}
+		}); avg != 0 {
+			t.Errorf("steady-state Write allocates %.2f objects per chunk, want 0", avg)
+		}
+		if err := f.Close(p); err != nil {
+			t.Errorf("close: %v", err)
+		}
+		f.Delete(p)
+	})
+	r.sim.MustRun()
+}
+
 func TestPrefetchOverlapsRemoteReads(t *testing.T) {
 	measure := func(prefetch bool) simtime.Duration {
 		r := newRig(t, 3, 2, func(c *ServiceConfig) { c.Prefetch = prefetch })

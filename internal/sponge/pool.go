@@ -25,7 +25,12 @@ type Pool struct {
 	segments  [][]byte
 	owners    []TaskID // flat index across segments; zero = free
 	lengths   []int    // valid bytes per chunk
-	freeCount int
+
+	// freeList is a LIFO stack of free chunk handles, so Alloc is O(1)
+	// instead of scanning the owner table. Its capacity is fixed at the
+	// chunk count, so pushes never reallocate. Invariant: h is on the
+	// free list iff owners[h] is zero.
+	freeList []int
 
 	// quota limits chunks per owning task on this pool; 0 = unlimited.
 	quota int
@@ -55,9 +60,14 @@ func NewPool(chunkReal, nchunks int) *Pool {
 		chunkReal: chunkReal,
 		owners:    make([]TaskID, nchunks),
 		lengths:   make([]int, nchunks),
-		freeCount: nchunks,
+		freeList:  make([]int, nchunks),
 		held:      make(map[TaskID]int),
 		lockCost:  2 * simtime.Microsecond,
+	}
+	// Stack the handles so the first allocations pop 0, 1, 2, … — the
+	// same order the old linear scan produced.
+	for i := range p.freeList {
+		p.freeList[i] = nchunks - 1 - i
 	}
 	// Segments are materialized lazily on first touch: the cluster may
 	// reserve sponge memory far larger than any one run ever fills.
@@ -83,16 +93,17 @@ func (p *Pool) Chunks() int { return len(p.owners) }
 func (p *Pool) Free() int {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	return p.freeCount
+	return len(p.freeList)
 }
 
 // LockCost returns the virtual cost of one metadata-lock acquisition,
 // charged by callers running under the simulator.
 func (p *Pool) LockCost() simtime.Duration { return p.lockCost }
 
-// Alloc claims a free chunk for owner and returns its handle. It returns
-// ErrNoFreeChunk when the pool is exhausted and ErrQuotaExceeded when the
-// owner is over its per-node quota.
+// Alloc claims a free chunk for owner and returns its handle in O(1) by
+// popping the free list. It returns ErrNoFreeChunk when the pool is
+// exhausted and ErrQuotaExceeded when the owner is over its per-node
+// quota. The steady state allocates no memory.
 func (p *Pool) Alloc(owner TaskID) (int, error) {
 	if owner.IsZero() {
 		panic("sponge: alloc with zero owner")
@@ -103,7 +114,8 @@ func (p *Pool) Alloc(owner TaskID) (int, error) {
 		p.allocFails++
 		return 0, ErrChunkLost
 	}
-	if p.freeCount == 0 {
+	n := len(p.freeList)
+	if n == 0 {
 		p.allocFails++
 		return 0, ErrNoFreeChunk
 	}
@@ -111,18 +123,13 @@ func (p *Pool) Alloc(owner TaskID) (int, error) {
 		p.allocFails++
 		return 0, ErrQuotaExceeded
 	}
-	for i, o := range p.owners {
-		if o.IsZero() {
-			p.owners[i] = owner
-			p.lengths[i] = 0
-			p.freeCount--
-			p.held[owner]++
-			p.allocs++
-			return i, nil
-		}
-	}
-	p.allocFails++
-	return 0, ErrNoFreeChunk
+	h := p.freeList[n-1]
+	p.freeList = p.freeList[:n-1]
+	p.owners[h] = owner
+	p.lengths[h] = 0
+	p.held[owner]++
+	p.allocs++
+	return h, nil
 }
 
 // chunkSlice returns the backing bytes of a handle, materializing the
@@ -198,7 +205,7 @@ func (p *Pool) FreeChunk(h int) {
 	}
 	p.owners[h] = TaskID{}
 	p.lengths[h] = 0
-	p.freeCount++
+	p.freeList = append(p.freeList, h)
 	p.frees++
 	if p.held[owner] <= 1 {
 		delete(p.held, owner)
@@ -229,7 +236,7 @@ func (p *Pool) FreeOwnedBy(owner TaskID) int {
 		if o == owner {
 			p.owners[i] = TaskID{}
 			p.lengths[i] = 0
-			p.freeCount++
+			p.freeList = append(p.freeList, i)
 			p.frees++
 			freed++
 		}

@@ -2,6 +2,8 @@ package sponge
 
 import (
 	"bytes"
+	"math/rand"
+	"sync"
 	"testing"
 	"testing/quick"
 )
@@ -142,6 +144,180 @@ func TestPoolDoubleFreePanics(t *testing.T) {
 		}
 	}()
 	p.FreeChunk(h)
+}
+
+// TestPoolFreeListInvariants drives the O(1) free-list through a long
+// randomized alloc/free/free-owned/quota schedule against a naive
+// reference model: the free list must stay an exact permutation of the
+// zero-owner handles, per-owner held counts must match, and the quota
+// must hold at every step.
+func TestPoolFreeListInvariants(t *testing.T) {
+	const chunks = 24
+	rng := rand.New(rand.NewSource(42))
+	p := NewPool(8, chunks)
+	quota := 0
+	owners := []TaskID{{Node: 0, PID: 1}, {Node: 0, PID: 2}, {Node: 1, PID: 3}}
+	held := map[TaskID][]int{} // reference model: handles per owner
+
+	check := func(step int) {
+		t.Helper()
+		live := 0
+		for _, hs := range held {
+			live += len(hs)
+		}
+		if got := p.Free(); got != chunks-live {
+			t.Fatalf("step %d: Free() = %d, want %d", step, got, chunks-live)
+		}
+		// The pool's view of per-owner counts must match the model.
+		po := p.Owners()
+		for o, hs := range held {
+			if len(hs) > 0 && po[o] != len(hs) {
+				t.Fatalf("step %d: owner %v holds %d, want %d", step, o, po[o], len(hs))
+			}
+		}
+		// Free-list entries and live handles must partition the pool: a
+		// fresh alloc of every remaining chunk must succeed exactly
+		// Free() times with all-distinct handles, then fail.
+		if quota != 0 {
+			return // exhaustion probe only valid without a quota
+		}
+		free := p.Free()
+		probe := TaskID{Node: 9, PID: 99}
+		seen := map[int]bool{}
+		for _, hs := range held {
+			for _, h := range hs {
+				seen[h] = true
+			}
+		}
+		var got []int
+		for {
+			h, err := p.Alloc(probe)
+			if err != nil {
+				break
+			}
+			if seen[h] {
+				t.Fatalf("step %d: alloc returned live handle %d", step, h)
+			}
+			seen[h] = true
+			got = append(got, h)
+		}
+		if len(got) != free {
+			t.Fatalf("step %d: drained %d chunks, Free() said %d", step, len(got), free)
+		}
+		for _, h := range got {
+			p.FreeChunk(h)
+		}
+	}
+
+	for step := 0; step < 2000; step++ {
+		switch rng.Intn(10) {
+		case 0, 1, 2, 3, 4: // alloc
+			o := owners[rng.Intn(len(owners))]
+			h, err := p.Alloc(o)
+			switch {
+			case err == nil:
+				if quota > 0 && len(held[o]) >= quota {
+					t.Fatalf("step %d: alloc beyond quota %d", step, quota)
+				}
+				held[o] = append(held[o], h)
+			case err == ErrQuotaExceeded:
+				if quota == 0 || len(held[o]) < quota {
+					t.Fatalf("step %d: spurious quota error at %d held", step, len(held[o]))
+				}
+			case err == ErrNoFreeChunk:
+				if p.Free() != 0 {
+					t.Fatalf("step %d: spurious exhaustion with %d free", step, p.Free())
+				}
+			default:
+				t.Fatalf("step %d: alloc: %v", step, err)
+			}
+		case 5, 6, 7: // free one
+			o := owners[rng.Intn(len(owners))]
+			if hs := held[o]; len(hs) > 0 {
+				i := rng.Intn(len(hs))
+				p.FreeChunk(hs[i])
+				held[o] = append(hs[:i], hs[i+1:]...)
+			}
+		case 8: // free everything an owner holds (GC path)
+			o := owners[rng.Intn(len(owners))]
+			if got := p.FreeOwnedBy(o); got != len(held[o]) {
+				t.Fatalf("step %d: FreeOwnedBy freed %d, want %d", step, got, len(held[o]))
+			}
+			delete(held, o)
+		case 9: // flip the quota
+			if quota == 0 {
+				quota = 2 + rng.Intn(4)
+			} else {
+				quota = 0
+			}
+			p.SetQuota(quota)
+		}
+		if step%97 == 0 {
+			check(step)
+		}
+	}
+	check(2000)
+}
+
+// TestPoolAllocSteadyStateAllocationFree is the allocation-regression
+// guard for the pool hot path: once warm, Alloc+FreeChunk must not touch
+// the Go allocator at all.
+func TestPoolAllocSteadyStateAllocationFree(t *testing.T) {
+	p := NewPool(64, 128)
+	owner := TaskID{Node: 0, PID: 1}
+	// Warm up: materialize the held-map entry once.
+	h, err := p.Alloc(owner)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.FreeChunk(h)
+	if avg := testing.AllocsPerRun(200, func() {
+		h, err := p.Alloc(owner)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p.FreeChunk(h)
+	}); avg != 0 {
+		t.Fatalf("Alloc+FreeChunk allocates %.1f objects per cycle, want 0", avg)
+	}
+}
+
+// TestPoolConcurrentAccess hammers one pool from many OS threads — the
+// wire servers share the pool with simulated tasks — so the race
+// detector can vet the free-list under contention.
+func TestPoolConcurrentAccess(t *testing.T) {
+	const goroutines = 8
+	p := NewPool(32, 64)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			owner := TaskID{Node: g, PID: int64(g) + 1}
+			buf := make([]byte, 32)
+			for i := 0; i < 500; i++ {
+				h, err := p.Alloc(owner)
+				if err != nil {
+					continue // racing for a small pool; exhaustion is fine
+				}
+				payload := byte(g)<<4 | byte(i&0xf)
+				buf[0] = payload
+				if err := p.Write(h, buf[:1]); err != nil {
+					t.Errorf("write: %v", err)
+				}
+				var back [32]byte
+				if n, err := p.Read(h, back[:]); err != nil || n != 1 || back[0] != payload {
+					t.Errorf("read back %d bytes %x (err %v), want 1 byte %x", n, back[0], err, payload)
+				}
+				p.FreeChunk(h)
+			}
+		}()
+	}
+	wg.Wait()
+	if p.Free() != 64 {
+		t.Fatalf("free = %d of 64 after all goroutines released", p.Free())
+	}
 }
 
 // Property: any interleaving of allocs and frees keeps the invariant

@@ -40,6 +40,11 @@ type ServiceConfig struct {
 	LocalDiskEnabled bool
 	// Remote is the distributed-filesystem last resort; may be nil.
 	Remote RemoteStore
+	// DisableBufferRecycling turns off the service's chunk-buffer pool,
+	// reproducing the seed's one-fresh-buffer-per-chunk allocation
+	// behaviour. Only the benchmark harness sets this, to measure the
+	// recycled hot path against its predecessor.
+	DisableBufferRecycling bool
 }
 
 // DefaultConfig returns the paper's configuration.
@@ -67,6 +72,10 @@ type Service struct {
 
 	chunkReal int
 	nextPID   int64
+
+	// bufs recycles chunk payload buffers across every file of the
+	// service (staging, async hand-off, fetch, prefetch).
+	bufs *bufPool
 
 	// dead marks failed nodes; failovers counts tracker re-elections.
 	dead      []bool
@@ -98,6 +107,7 @@ func Start(c *cluster.Cluster, cfg ServiceConfig) *Service {
 		chunkReal: c.Cfg.R(cfg.ChunkVirtual),
 		dead:      make([]bool, len(c.Nodes)),
 	}
+	s.bufs = newBufPool(s.chunkReal, !cfg.DisableBufferRecycling)
 	chunksPerNode := int(c.Cfg.SpongeMemory / cfg.ChunkVirtual)
 	for _, n := range c.Nodes {
 		pool := NewPool(s.chunkReal, chunksPerNode)
@@ -124,6 +134,17 @@ func (s *Service) hardware() media.Hardware { return s.Cluster.Cfg.Hardware }
 
 // ChunkReal returns the real payload bytes per chunk.
 func (s *Service) ChunkReal() int { return s.chunkReal }
+
+// BufPoolStats snapshots the service's chunk-buffer pool counters; the
+// recycling tests assert that Outstanding returns to zero once every
+// file is deleted.
+func (s *Service) BufPoolStats() BufPoolStats { return s.bufs.Stats() }
+
+// getBuf checks a chunk-sized buffer out of the service pool.
+func (s *Service) getBuf() []byte { return s.bufs.Get() }
+
+// putBuf returns a buffer (possibly re-sliced shorter) to the pool.
+func (s *Service) putBuf(b []byte) { s.bufs.Put(b) }
 
 // TotalFreeChunks sums live free chunks across all servers (ground truth,
 // not the tracker's stale view).

@@ -11,4 +11,10 @@ go vet ./...
 echo "== go test -race ./internal/sponge/... ./internal/spill/... =="
 go test -race -count=1 ./internal/sponge/... ./internal/spill/...
 
+echo "== allocation-regression guards =="
+# The hot-path guards must hold: O(1) pool alloc/free and steady-state
+# File.Write at zero allocations, plus the >=30% macro allocs/op cut.
+go test -count=1 -run 'AllocationFree|TestMacroAllocRegressionGuard' \
+	./internal/sponge ./internal/simtime ./internal/bench
+
 echo "tier2 OK"
