@@ -18,4 +18,10 @@ bench-wire:
 bench:
 	./scripts/bench.sh
 
-.PHONY: tier1 tier2 bench-wire bench
+# Fault-injection experiment: spill placement, retries, and timing vs
+# exchange drop rate, simulated vs real-TCP wire transport; regenerates
+# BENCH_faults.json.
+bench-faults:
+	go run ./cmd/benchtab -out BENCH_faults.json faults
+
+.PHONY: tier1 tier2 bench-wire bench bench-faults

@@ -5,6 +5,7 @@
 //
 //	benchtab [-size f] [-spills n] [tab1|tab2|fig1a|fig1b|fig4|fig5|fig6|grepvar|failtab|ablate|all]
 //	benchtab [-perfsize f] [-workers n] [-out file.json] perf
+//	benchtab [-out file.json] faults
 //
 // -size scales the macro datasets (1.0 = the paper's 10 GB inputs).
 //
@@ -12,6 +13,10 @@
 // three jobs under testing.B in both the seed-equivalent legacy
 // allocation mode and the pooled hot path, and emits the comparison as
 // JSON (checked in as BENCH_macro.json). It is not part of "all".
+//
+// The faults experiment sweeps transport drop rates over the simulated
+// and the real-TCP wire transports, recording spill placement, retries,
+// and timing (checked in as BENCH_faults.json). Also not part of "all".
 package main
 
 import (
@@ -37,6 +42,10 @@ func main() {
 	}
 	if which == "perf" {
 		perf(*perfSize, *perfWorkers, *perfOut)
+		return
+	}
+	if which == "faults" {
+		faults(*perfOut)
 		return
 	}
 	run := func(name string, fn func()) {
@@ -75,6 +84,21 @@ func perf(size float64, workers int, out string) {
 		fmt.Printf("report written to %s\n", out)
 	} else {
 		os.Stdout.Write(rep.JSON())
+	}
+}
+
+func faults(out string) {
+	cfg := bench.DefaultFaults()
+	fmt.Printf("== Fault injection: spill placement vs exchange drop rate (%d workers, %d files x %d chunks, seed %d) ==\n",
+		cfg.Workers, cfg.Files, cfg.FileChunks, cfg.Seed)
+	cells := bench.RunFaults(cfg)
+	fmt.Println(bench.FormatTable(bench.FaultsHeader, bench.FaultsRows(cells)))
+	if out != "" {
+		if err := os.WriteFile(out, bench.FaultsJSON(cfg, cells), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "write %s: %v\n", out, err)
+			os.Exit(1)
+		}
+		fmt.Printf("report written to %s\n", out)
 	}
 }
 

@@ -3,24 +3,36 @@
 //
 // Usage:
 //
-//	spongectl serve [-addr :7070] [-chunk 1048576] [-chunks 1024]
-//	spongectl stat  -addr host:port
-//	spongectl demo  [-chunk 65536] [-chunks 64] [-conns 4]
+//	spongectl serve   [-addr :7070] [-chunk 1048576] [-chunks 1024]
+//	                  [-inflight 16] [-read-timeout 0] [-write-timeout 0]
+//	spongectl stat    -addr host:port
+//	spongectl demo    [-chunk 65536] [-chunks 64] [-conns 4]
+//	spongectl cluster [-nodes 3] [-chunks 32] [-mb 200] [-drop 0.1] ...
 //
 // "serve" runs a sponge server until interrupted. "stat" prints a
 // server's pool state. "demo" starts an in-process server, spills
 // chunks through it concurrently over a pipelined connection pool,
 // reads them back with zero-copy ReadInto, and prints a transcript.
+// "cluster" launches one sponge-server child process per node,
+// installs the wire transport on a simulated service, and drives a
+// SpongeFile spill through the allocator chain so every remote chunk
+// crosses real process boundaries over real TCP.
 package main
 
 import (
+	"bufio"
 	"flag"
 	"fmt"
 	"os"
+	"os/exec"
 	"os/signal"
+	"strings"
 	"sync"
 	"time"
 
+	"spongefiles/internal/cluster"
+	"spongefiles/internal/media"
+	"spongefiles/internal/simtime"
 	"spongefiles/internal/sponge"
 	"spongefiles/internal/sponge/wire"
 )
@@ -36,14 +48,27 @@ func main() {
 		stat(os.Args[2:])
 	case "demo":
 		demo(os.Args[2:])
+	case "cluster":
+		clusterMain(os.Args[2:])
 	default:
 		usage()
 	}
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: spongectl serve|stat|demo [flags]")
+	fmt.Fprintln(os.Stderr, "usage: spongectl serve|stat|demo|cluster [flags]")
 	os.Exit(2)
+}
+
+// serveOptions declares the wire.Options flags shared by serve and
+// cluster (which forwards them to its child servers).
+func serveOptions(fs *flag.FlagSet) func() wire.Options {
+	inflight := fs.Int("inflight", 0, "per-connection worker-pool bound (0 = default 16)")
+	readTO := fs.Duration("read-timeout", 0, "per-frame read deadline (0 = none)")
+	writeTO := fs.Duration("write-timeout", 0, "per-write deadline (0 = none)")
+	return func() wire.Options {
+		return wire.Options{Inflight: *inflight, ReadTimeout: *readTO, WriteTimeout: *writeTO}
+	}
 }
 
 func serve(args []string) {
@@ -51,10 +76,11 @@ func serve(args []string) {
 	addr := fs.String("addr", "127.0.0.1:7070", "listen address")
 	chunk := fs.Int("chunk", 1<<20, "chunk size in bytes (the paper: 1 MB)")
 	chunks := fs.Int("chunks", 1024, "number of chunks in the sponge pool")
+	opts := serveOptions(fs)
 	fs.Parse(args)
 
 	pool := sponge.NewPool(*chunk, *chunks)
-	srv, err := wire.Serve(pool, *addr)
+	srv, err := wire.ServeOptions(pool, *addr, opts())
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
@@ -84,6 +110,186 @@ func stat(args []string) {
 		os.Exit(1)
 	}
 	fmt.Printf("%s: %d/%d chunks free, chunk size %d bytes\n", *addr, free, total, size)
+}
+
+// clusterMain is the real multi-process mode: it re-executes this
+// binary once per node as "spongectl serve -addr 127.0.0.1:0", collects
+// the childrens' listen addresses, maps them into a wire transport on a
+// simulated sponge service, and runs a SpongeFile round trip whose
+// local pool is too small to hold the data — forcing the allocator
+// chain through the tracker and across the TCP servers. With -drop > 0
+// a fault-injecting wrapper loses that fraction of exchanges, so the
+// retry and blacklist paths run against live sockets too.
+func clusterMain(args []string) {
+	fs := flag.NewFlagSet("cluster", flag.ExitOnError)
+	nodes := fs.Int("nodes", 3, "sponge server child processes")
+	chunks := fs.Int("chunks", 32, "pool chunks per child server")
+	mb := fs.Int64("mb", 64, "virtual MB to spill through the cluster")
+	drop := fs.Float64("drop", 0, "fault-injected exchange drop rate")
+	seed := fs.Int64("seed", 1, "fault stream seed")
+	opts := serveOptions(fs)
+	fs.Parse(args)
+
+	// The simulated half: node 0 runs the task (and the tracker); nodes
+	// 1..N are fronted by the child processes. A tiny local sponge pool
+	// (two chunks) forces everything else remote.
+	cfg := cluster.PaperConfig()
+	cfg.Workers = *nodes + 1
+	cfg.SpongeMemory = 2 * media.MB
+	sim := simtime.New()
+	c := cluster.New(sim, cfg)
+	// Local disk stays enabled as the escape hatch: under heavy -drop
+	// every remote candidate can end up blacklisted, and the demo should
+	// degrade the way the paper's allocator does, not fail.
+	svc := sponge.Start(c, sponge.DefaultConfig())
+
+	exe, err := os.Executable()
+	if err != nil {
+		fatal(err)
+	}
+	addrs := make(map[int]string, *nodes)
+	var children []*exec.Cmd
+	defer func() {
+		for _, cmd := range children {
+			cmd.Process.Kill()
+			cmd.Wait()
+		}
+	}()
+	for n := 1; n <= *nodes; n++ {
+		cmd := exec.Command(exe, "serve",
+			"-addr", "127.0.0.1:0",
+			"-chunk", fmt.Sprint(svc.ChunkReal()),
+			"-chunks", fmt.Sprint(*chunks),
+			"-inflight", fmt.Sprint(opts().Inflight),
+			"-read-timeout", opts().ReadTimeout.String(),
+			"-write-timeout", opts().WriteTimeout.String(),
+		)
+		cmd.Stderr = os.Stderr
+		out, err := cmd.StdoutPipe()
+		if err != nil {
+			fatal(err)
+		}
+		if err := cmd.Start(); err != nil {
+			fatal(err)
+		}
+		children = append(children, cmd)
+		addr, err := parseServeBanner(bufio.NewReader(out))
+		if err != nil {
+			fatal(fmt.Errorf("child %d: %v", n, err))
+		}
+		addrs[n] = addr
+		fmt.Printf("node%d -> child pid %d on %s\n", n, cmd.Process.Pid, addr)
+	}
+
+	var transport sponge.Transport = wire.NewTransport(addrs, svc.Transport())
+	var faults *sponge.FaultTransport
+	if *drop > 0 {
+		faults = sponge.NewFaultTransport(transport, sponge.FaultConfig{Seed: *seed, DropRate: *drop})
+		transport = faults
+	}
+	svc.SetTransport(transport)
+
+	data := make([]byte, c.Cfg.R(*mb*media.MB))
+	for i := range data {
+		data[i] = byte(i*31 + 7)
+	}
+	start := time.Now()
+	var stats sponge.FileStats
+	failed := false
+	sim.Spawn("task", func(p *simtime.Proc) {
+		agent := svc.NewAgent(c.Nodes[0])
+		defer agent.Close()
+		f := agent.Create(p, "cluster-demo")
+		if err := f.Write(p, data); err != nil {
+			fmt.Fprintln(os.Stderr, "write:", err)
+			failed = true
+			return
+		}
+		if err := f.Close(p); err != nil {
+			fmt.Fprintln(os.Stderr, "close:", err)
+			failed = true
+			return
+		}
+		buf := make([]byte, svc.ChunkReal())
+		var got int
+		for {
+			n, err := f.Read(p, buf)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "read:", err)
+				failed = true
+				return
+			}
+			if n == 0 {
+				break
+			}
+			for j := 0; j < n; j++ {
+				if buf[j] != byte((got+j)*31+7) {
+					fmt.Fprintf(os.Stderr, "corrupt byte at offset %d\n", got+j)
+					failed = true
+					return
+				}
+			}
+			got += n
+		}
+		if got != len(data) {
+			fmt.Fprintf(os.Stderr, "short read: %d of %d bytes\n", got, len(data))
+			failed = true
+			return
+		}
+		stats = f.Stats()
+		f.Delete(p)
+	})
+	sim.MustRun()
+	if failed {
+		os.Exit(1)
+	}
+
+	fmt.Printf("round trip: %d real bytes (%d virtual MB) in %v wall clock\n",
+		len(data), *mb, time.Since(start).Round(time.Millisecond))
+	fmt.Printf("chunks: %d total — %d local mem, %d remote mem over TCP, %d remote FS; %d retries\n",
+		stats.Chunks, stats.ByKind[sponge.LocalMem], stats.ByKind[sponge.RemoteMem],
+		stats.ByKind[sponge.RemoteFS], stats.Retries)
+	if faults != nil {
+		fs := faults.Stats()
+		fmt.Printf("faults: %d exchanges, %d dropped, %d fast errors\n",
+			fs.Exchanges, fs.Drops, fs.FastErrs)
+	}
+	for n := 1; n <= *nodes; n++ {
+		cl, err := wire.Dial(addrs[n])
+		if err != nil {
+			continue
+		}
+		free, total, _, err := cl.Stat()
+		cl.Close()
+		if err == nil {
+			fmt.Printf("node%d pool after delete: %d/%d free\n", n, free, total)
+		}
+	}
+}
+
+// parseServeBanner extracts the listen address from a child server's
+// "sponge server on ADDR: ..." banner line.
+func parseServeBanner(out *bufio.Reader) (string, error) {
+	line, err := out.ReadString('\n')
+	if err != nil {
+		return "", fmt.Errorf("reading banner: %w", err)
+	}
+	const prefix = "sponge server on "
+	if !strings.HasPrefix(line, prefix) {
+		return "", fmt.Errorf("unexpected banner %q", strings.TrimSpace(line))
+	}
+	rest := line[len(prefix):]
+	if i := strings.IndexByte(rest, ':'); i >= 0 {
+		if j := strings.IndexByte(rest[i+1:], ':'); j >= 0 {
+			return rest[:i+1+j], nil
+		}
+	}
+	return "", fmt.Errorf("no address in banner %q", strings.TrimSpace(line))
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
 }
 
 func demo(args []string) {

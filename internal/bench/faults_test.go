@@ -1,0 +1,80 @@
+package bench
+
+import "testing"
+
+// testFaultsConfig is small enough to keep the TCP cells fast.
+func testFaultsConfig() FaultsConfig {
+	return FaultsConfig{
+		Workers:    4,
+		Files:      3,
+		FileChunks: 6,
+		DropRates:  []float64{0, 0.2},
+		Seed:       42,
+	}
+}
+
+func findCell(t *testing.T, cells []FaultCell, transport string, rate float64) FaultCell {
+	t.Helper()
+	for _, c := range cells {
+		if c.Transport == transport && c.DropRate == rate {
+			return c
+		}
+	}
+	t.Fatalf("no cell for (%s, %.2f)", transport, rate)
+	return FaultCell{}
+}
+
+// TestFaultsExperiment checks the experiment's shape: a fault-free cell
+// keeps every chunk in memory with no retries over both transports,
+// and a 20% drop rate visibly loses exchanges and forces retries.
+func TestFaultsExperiment(t *testing.T) {
+	cfg := testFaultsConfig()
+	cells := RunFaults(cfg)
+	if len(cells) != 2*len(cfg.DropRates) {
+		t.Fatalf("got %d cells, want %d", len(cells), 2*len(cfg.DropRates))
+	}
+
+	for _, transport := range []string{"sim", "wire"} {
+		clean := findCell(t, cells, transport, 0)
+		if clean.SpillSuccess != 1.0 {
+			t.Errorf("%s fault-free spill success = %.2f, want 1.0 (%+v)",
+				transport, clean.SpillSuccess, clean)
+		}
+		if clean.Retries != 0 || clean.Drops != 0 || clean.LostReads != 0 {
+			t.Errorf("%s fault-free cell shows faults: %+v", transport, clean)
+		}
+		if clean.RemoteMem == 0 {
+			t.Errorf("%s workload never spilled remote; the experiment measures nothing: %+v",
+				transport, clean)
+		}
+
+		faulty := findCell(t, cells, transport, 0.2)
+		if faulty.Drops == 0 {
+			t.Errorf("%s at 20%% dropped nothing over %d exchanges",
+				transport, faulty.Exchanges)
+		}
+		if faulty.Retries == 0 {
+			t.Errorf("%s at 20%% never retried: %+v", transport, faulty)
+		}
+		if faulty.VirtualMs <= clean.VirtualMs {
+			t.Errorf("%s timeouts charged no virtual time: %d ms faulty vs %d ms clean",
+				transport, faulty.VirtualMs, clean.VirtualMs)
+		}
+	}
+}
+
+// TestFaultsSimDeterminism reruns the simulated cells: same seed, same
+// workload, same transport — everything but wall time must repeat.
+func TestFaultsSimDeterminism(t *testing.T) {
+	cfg := testFaultsConfig()
+	a := RunFaults(cfg)
+	b := RunFaults(cfg)
+	for _, rate := range cfg.DropRates {
+		ca := findCell(t, a, "sim", rate)
+		cb := findCell(t, b, "sim", rate)
+		ca.WallMs, cb.WallMs = 0, 0
+		if ca != cb {
+			t.Errorf("sim cell at %.2f diverged:\nrun1 %+v\nrun2 %+v", rate, ca, cb)
+		}
+	}
+}

@@ -1,0 +1,240 @@
+package sponge
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+
+	"spongefiles/internal/cluster"
+	"spongefiles/internal/simtime"
+)
+
+// FaultConfig tunes the fault-injecting transport wrapper. The paper's
+// protocols are built to tolerate a faulty network — stale free lists,
+// lost messages, dead nodes (§3.1.1) — and this wrapper produces those
+// conditions on demand, deterministically, over either transport.
+type FaultConfig struct {
+	// Seed drives the deterministic fault stream; runs with the same
+	// seed, rates, and operation order inject the same faults.
+	Seed int64
+	// DropRate is the probability an exchange is lost in transit: the
+	// caller waits out Timeout in virtual time and gets
+	// ErrPeerUnreachable. The request never reaches the peer (request
+	// loss, not response loss — the peer performs no side effect).
+	DropRate float64
+	// ErrRate is the probability an exchange fails fast — connection
+	// refused rather than a silent loss: ErrPeerUnreachable with no
+	// timeout charged.
+	ErrRate float64
+	// Delay is extra virtual latency added to every delivered exchange.
+	Delay simtime.Duration
+	// Timeout is the virtual time a caller waits before concluding an
+	// exchange was dropped; 0 means the default (100 ms).
+	Timeout simtime.Duration
+}
+
+// FaultStats counts what the wrapper did to the traffic.
+type FaultStats struct {
+	Exchanges int64 // total exchanges attempted through the wrapper
+	Drops     int64 // lost in transit (timeout charged)
+	FastErrs  int64 // failed fast (no timeout)
+	Blocked   int64 // refused because the link or a node is partitioned
+}
+
+// linkKey identifies an undirected node pair.
+type linkKey struct{ a, b int }
+
+func link(a, b int) linkKey {
+	if a > b {
+		a, b = b, a
+	}
+	return linkKey{a, b}
+}
+
+// FaultTransport wraps any Transport and injects per-link faults: random
+// drops and fast errors, fixed delivery delay, per-link drop overrides,
+// and hard partitions of links or whole nodes. Loopback exchanges
+// (caller and peer on the same node) never traverse the network and are
+// delivered untouched.
+//
+// The wrapper is deterministic under the simulator: one process runs at
+// a time, so the seeded random stream is consumed in a fixed order and a
+// given (seed, rates, workload) triple always injects the same faults.
+type FaultTransport struct {
+	inner Transport
+	cfg   FaultConfig
+
+	mu       sync.Mutex
+	rng      *rand.Rand
+	cutLinks map[linkKey]bool
+	cutNodes map[int]bool
+	linkDrop map[linkKey]float64
+	stats    FaultStats
+}
+
+// NewFaultTransport wraps inner with fault injection per cfg.
+func NewFaultTransport(inner Transport, cfg FaultConfig) *FaultTransport {
+	if cfg.Timeout <= 0 {
+		cfg.Timeout = 100 * simtime.Millisecond
+	}
+	return &FaultTransport{
+		inner:    inner,
+		cfg:      cfg,
+		rng:      rand.New(rand.NewSource(cfg.Seed)),
+		cutLinks: make(map[linkKey]bool),
+		cutNodes: make(map[int]bool),
+		linkDrop: make(map[linkKey]float64),
+	}
+}
+
+// Cut partitions the link between two nodes (both directions): every
+// exchange across it times out until Heal.
+func (ft *FaultTransport) Cut(a, b int) {
+	ft.mu.Lock()
+	ft.cutLinks[link(a, b)] = true
+	ft.mu.Unlock()
+}
+
+// Heal restores the link between two nodes.
+func (ft *FaultTransport) Heal(a, b int) {
+	ft.mu.Lock()
+	delete(ft.cutLinks, link(a, b))
+	ft.mu.Unlock()
+}
+
+// IsolateNode partitions a node from everyone: all its links drop.
+func (ft *FaultTransport) IsolateNode(n int) {
+	ft.mu.Lock()
+	ft.cutNodes[n] = true
+	ft.mu.Unlock()
+}
+
+// RejoinNode ends a node's isolation.
+func (ft *FaultTransport) RejoinNode(n int) {
+	ft.mu.Lock()
+	delete(ft.cutNodes, n)
+	ft.mu.Unlock()
+}
+
+// SetLinkDrop overrides the drop rate on one link (both directions); a
+// negative rate removes the override.
+func (ft *FaultTransport) SetLinkDrop(a, b int, rate float64) {
+	ft.mu.Lock()
+	if rate < 0 {
+		delete(ft.linkDrop, link(a, b))
+	} else {
+		ft.linkDrop[link(a, b)] = rate
+	}
+	ft.mu.Unlock()
+}
+
+// Stats snapshots the wrapper's counters.
+func (ft *FaultTransport) Stats() FaultStats {
+	ft.mu.Lock()
+	defer ft.mu.Unlock()
+	return ft.stats
+}
+
+// Peer returns the fault-wrapped handle on a node's server.
+func (ft *FaultTransport) Peer(node int) Peer {
+	return faultPeer{ft: ft, node: node, inner: ft.inner.Peer(node)}
+}
+
+// outcome is what the wrapper decided to do with one exchange.
+type outcome int
+
+const (
+	deliver outcome = iota
+	dropped         // lost in transit: charge the timeout
+	fastErr         // failed fast: no timeout
+	blocked         // partitioned: charge the timeout
+)
+
+// decide rolls the fault dice for one exchange from -> to. Two rolls are
+// always consumed so the random stream does not depend on the configured
+// rates, only on the exchange order.
+func (ft *FaultTransport) decide(from, to int) outcome {
+	ft.mu.Lock()
+	defer ft.mu.Unlock()
+	ft.stats.Exchanges++
+	dropRoll, errRoll := ft.rng.Float64(), ft.rng.Float64()
+	if ft.cutNodes[from] || ft.cutNodes[to] || ft.cutLinks[link(from, to)] {
+		ft.stats.Blocked++
+		return blocked
+	}
+	drop := ft.cfg.DropRate
+	if r, ok := ft.linkDrop[link(from, to)]; ok {
+		drop = r
+	}
+	if dropRoll < drop {
+		ft.stats.Drops++
+		return dropped
+	}
+	if errRoll < ft.cfg.ErrRate {
+		ft.stats.FastErrs++
+		return fastErr
+	}
+	return deliver
+}
+
+// exchange applies the fault decision for one exchange, returning a
+// non-nil error when the exchange is lost. Loopback traffic is exempt.
+func (ft *FaultTransport) exchange(p *simtime.Proc, from, to int) error {
+	if from == to {
+		return nil
+	}
+	switch ft.decide(from, to) {
+	case dropped, blocked:
+		p.Sleep(ft.cfg.Timeout)
+		return fmt.Errorf("%w: exchange node%d->node%d timed out", ErrPeerUnreachable, from, to)
+	case fastErr:
+		return fmt.Errorf("%w: exchange node%d->node%d refused", ErrPeerUnreachable, from, to)
+	}
+	if ft.cfg.Delay > 0 {
+		p.Sleep(ft.cfg.Delay)
+	}
+	return nil
+}
+
+// faultPeer interposes the fault decision before every operation on one
+// peer.
+type faultPeer struct {
+	ft    *FaultTransport
+	node  int
+	inner Peer
+}
+
+func (fp faultPeer) AllocWrite(p *simtime.Proc, from *cluster.Node, owner TaskID, data []byte) (int, error) {
+	if err := fp.ft.exchange(p, from.ID, fp.node); err != nil {
+		return 0, err
+	}
+	return fp.inner.AllocWrite(p, from, owner, data)
+}
+
+func (fp faultPeer) Read(p *simtime.Proc, to *cluster.Node, handle int, buf []byte) (int, error) {
+	if err := fp.ft.exchange(p, to.ID, fp.node); err != nil {
+		return 0, err
+	}
+	return fp.inner.Read(p, to, handle, buf)
+}
+
+func (fp faultPeer) Free(p *simtime.Proc, from *cluster.Node, handle int) error {
+	if err := fp.ft.exchange(p, from.ID, fp.node); err != nil {
+		return err
+	}
+	return fp.inner.Free(p, from, handle)
+}
+
+func (fp faultPeer) FreeSpace(p *simtime.Proc, from *cluster.Node) (int, error) {
+	if err := fp.ft.exchange(p, from.ID, fp.node); err != nil {
+		return 0, err
+	}
+	return fp.inner.FreeSpace(p, from)
+}
+
+func (fp faultPeer) TaskAlive(p *simtime.Proc, from *cluster.Node, pid int64) (bool, error) {
+	if err := fp.ft.exchange(p, from.ID, fp.node); err != nil {
+		return false, err
+	}
+	return fp.inner.TaskAlive(p, from, pid)
+}

@@ -1,0 +1,319 @@
+package sponge
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"spongefiles/internal/cluster"
+	"spongefiles/internal/simtime"
+)
+
+// flakyTransport fails the first failN exchanges of each operation kind
+// with ErrPeerUnreachable, then delivers — the deterministic way to
+// exercise the retry loop without probability.
+type flakyTransport struct {
+	inner Transport
+	failN int
+	fails int
+}
+
+func (ft *flakyTransport) Peer(node int) Peer {
+	return flakyPeer{ft: ft, inner: ft.inner.Peer(node)}
+}
+
+type flakyPeer struct {
+	ft    *flakyTransport
+	inner Peer
+}
+
+func (fp flakyPeer) lose() error {
+	if fp.ft.fails < fp.ft.failN {
+		fp.ft.fails++
+		return ErrPeerUnreachable
+	}
+	return nil
+}
+
+func (fp flakyPeer) AllocWrite(p *simtime.Proc, from *cluster.Node, owner TaskID, data []byte) (int, error) {
+	if err := fp.lose(); err != nil {
+		return 0, err
+	}
+	return fp.inner.AllocWrite(p, from, owner, data)
+}
+
+func (fp flakyPeer) Read(p *simtime.Proc, to *cluster.Node, handle int, buf []byte) (int, error) {
+	if err := fp.lose(); err != nil {
+		return 0, err
+	}
+	return fp.inner.Read(p, to, handle, buf)
+}
+
+func (fp flakyPeer) Free(p *simtime.Proc, from *cluster.Node, handle int) error {
+	if err := fp.lose(); err != nil {
+		return err
+	}
+	return fp.inner.Free(p, from, handle)
+}
+
+func (fp flakyPeer) FreeSpace(p *simtime.Proc, from *cluster.Node) (int, error) {
+	if err := fp.lose(); err != nil {
+		return 0, err
+	}
+	return fp.inner.FreeSpace(p, from)
+}
+
+func (fp flakyPeer) TaskAlive(p *simtime.Proc, from *cluster.Node, pid int64) (bool, error) {
+	if err := fp.lose(); err != nil {
+		return false, err
+	}
+	return fp.inner.TaskAlive(p, from, pid)
+}
+
+// TestRetryRecoversLostExchange loses the first two alloc exchanges;
+// the retry budget (default 2) absorbs them and the chunk still lands
+// in remote memory, with the retries counted.
+func TestRetryRecoversLostExchange(t *testing.T) {
+	r := newRig(t, 2, 2, nil) // two local chunks; the rest must go remote
+	r.svc.SetTransport(&flakyTransport{inner: r.svc.Transport(), failN: 2})
+	data := pattern(4*r.svc.ChunkReal(), 3)
+	f := writeReadDelete(t, r, 0, data)
+	st := f.Stats()
+	if st.ByKind[RemoteMem] == 0 {
+		t.Fatalf("no remote chunks despite retries: %+v", st)
+	}
+	if st.ByKind[LocalDisk] != 0 {
+		t.Fatalf("fell to disk although the retry budget covered the faults: %+v", st)
+	}
+	if st.Retries != 2 {
+		t.Fatalf("retries = %d, want 2", st.Retries)
+	}
+}
+
+// TestExhaustedRetriesBlacklistCandidate drops more exchanges than the
+// retry budget: the lone remote candidate is written off and the file
+// degrades to local disk, exactly like a stale free-list entry.
+func TestExhaustedRetriesBlacklistCandidate(t *testing.T) {
+	r := newRig(t, 2, 2, nil)
+	r.svc.SetTransport(&flakyTransport{inner: r.svc.Transport(), failN: 100})
+	data := pattern(4*r.svc.ChunkReal(), 4)
+	f := writeReadDelete(t, r, 0, data)
+	st := f.Stats()
+	if st.ByKind[RemoteMem] != 0 {
+		t.Fatalf("chunks went remote through a dead link: %+v", st)
+	}
+	if st.ByKind[LocalDisk] == 0 {
+		t.Fatalf("no disk fallback after blacklisting: %+v", st)
+	}
+	// At least one full retry budget was spent before the blacklist
+	// (concurrent async writers may each spend their own before the
+	// first one's verdict lands).
+	if st.Retries < r.svc.Config.RetryLimit {
+		t.Fatalf("retries = %d, want >= %d", st.Retries, r.svc.Config.RetryLimit)
+	}
+}
+
+// TestPartitionForcesDiskFallback isolates the only remote node via the
+// fault transport: every exchange to it times out, the write path
+// blacklists it, and the data lands on disk. Healing the partition
+// lets a later file spill remote again.
+func TestPartitionForcesDiskFallback(t *testing.T) {
+	r := newRig(t, 2, 2, nil)
+	faults := NewFaultTransport(r.svc.Transport(), FaultConfig{Seed: 1})
+	r.svc.SetTransport(faults)
+	faults.IsolateNode(1)
+
+	data := pattern(4*r.svc.ChunkReal(), 5)
+	f := writeReadDelete(t, r, 0, data)
+	st := f.Stats()
+	if st.ByKind[RemoteMem] != 0 {
+		t.Fatalf("chunks crossed a partition: %+v", st)
+	}
+	if st.ByKind[LocalDisk] == 0 {
+		t.Fatalf("no disk fallback under partition: %+v", st)
+	}
+	if s := faults.Stats(); s.Blocked == 0 {
+		t.Fatalf("partition never blocked an exchange: %+v", s)
+	}
+
+	faults.RejoinNode(1)
+	f2 := writeReadDelete(t, r, 0, data)
+	if st2 := f2.Stats(); st2.ByKind[RemoteMem] == 0 {
+		t.Fatalf("no remote chunks after healing the partition: %+v", st2)
+	}
+}
+
+// TestSeededDropsRoundTripAndDeterminism runs a spill under a 20% drop
+// rate: the data must still round-trip bit-exactly (retries and disk
+// fallback absorb the losses), and the same seed must inject exactly
+// the same faults on a rerun.
+func TestSeededDropsRoundTripAndDeterminism(t *testing.T) {
+	run := func() (FileStats, FaultStats) {
+		r := newRig(t, 4, 2, nil)
+		faults := NewFaultTransport(r.svc.Transport(), FaultConfig{Seed: 42, DropRate: 0.2})
+		r.svc.SetTransport(faults)
+		data := pattern(6*r.svc.ChunkReal(), 6)
+		f := writeReadDelete(t, r, 0, data)
+		return f.Stats(), faults.Stats()
+	}
+	st1, fs1 := run()
+	st2, fs2 := run()
+	if fs1.Drops == 0 {
+		t.Fatalf("a 20%% drop rate dropped nothing over %d exchanges", fs1.Exchanges)
+	}
+	if st1 != st2 || fs1 != fs2 {
+		t.Fatalf("same seed diverged:\nrun1 %+v %+v\nrun2 %+v %+v", st1, fs1, st2, fs2)
+	}
+}
+
+// TestLinkDropOverride cuts only one link's delivery: traffic to the
+// other remote node is untouched, so chunks land there.
+func TestLinkDropOverride(t *testing.T) {
+	r := newRig(t, 3, 2, nil)
+	faults := NewFaultTransport(r.svc.Transport(), FaultConfig{Seed: 7})
+	faults.SetLinkDrop(0, 1, 1.0)
+	r.svc.SetTransport(faults)
+
+	data := pattern(4*r.svc.ChunkReal(), 8)
+	var file *File
+	r.sim.Spawn("task", func(p *simtime.Proc) {
+		agent := r.svc.NewAgent(r.c.Nodes[0])
+		defer agent.Close()
+		f := agent.Create(p, "spill")
+		if err := f.Write(p, data); err != nil {
+			t.Errorf("write: %v", err)
+			return
+		}
+		if err := f.Close(p); err != nil {
+			t.Errorf("close: %v", err)
+			return
+		}
+		got := make([]byte, 0, len(data))
+		buf := make([]byte, 1000)
+		for {
+			n, err := f.Read(p, buf)
+			if err != nil {
+				t.Errorf("read: %v", err)
+				return
+			}
+			if n == 0 {
+				break
+			}
+			got = append(got, buf[:n]...)
+		}
+		if !bytes.Equal(got, data) {
+			t.Error("round trip corrupt")
+		}
+		f.Delete(p)
+		file = f
+	})
+	r.sim.MustRun()
+	st := file.Stats()
+	if st.ByKind[RemoteMem] == 0 {
+		t.Fatalf("no remote chunks although node 2's link is clean: %+v", st)
+	}
+	if r.svc.Servers[1].Pool().Free() != r.svc.Servers[1].Pool().Chunks() {
+		t.Fatal("chunks crossed the fully-dropped link to node 1")
+	}
+}
+
+// TestElectTrackerAllNodesDead: with every node failed, election must
+// report failure rather than install a tracker on a corpse.
+func TestElectTrackerAllNodesDead(t *testing.T) {
+	r := newRig(t, 3, 8, nil)
+	for i := range r.svc.Servers {
+		r.svc.FailNode(i)
+	}
+	before := r.svc.Failovers()
+	r.sim.Spawn("probe", func(p *simtime.Proc) {
+		if r.svc.electTracker(p) {
+			t.Error("electTracker found a live node in a fully dead cluster")
+		}
+	})
+	r.sim.MustRun()
+	if r.svc.Failovers() != before {
+		t.Fatalf("failover count moved on a failed election: %d -> %d", before, r.svc.Failovers())
+	}
+}
+
+// TestWatchdogReelectionUnderPollDrops kills the tracker's host while
+// the fault transport is dropping every poll to one server: the
+// watchdog must still elect a successor, the successor's first poll
+// records the unreachable server as empty, and after healing the next
+// poll sees it again.
+func TestWatchdogReelectionUnderPollDrops(t *testing.T) {
+	r := newRig(t, 3, 8, nil)
+	faults := NewFaultTransport(r.svc.Transport(), FaultConfig{Seed: 3})
+	r.svc.SetTransport(faults)
+
+	r.sim.Spawn("chaos", func(p *simtime.Proc) {
+		// Node 2 becomes unreachable (polls to it drop), then the
+		// tracker's own host dies.
+		faults.SetLinkDrop(1, 2, 1.0)
+		r.svc.FailNode(0)
+		p.Sleep(3 * r.svc.Config.PollInterval)
+
+		if r.svc.Failovers() == 0 {
+			t.Error("watchdog never re-elected a tracker")
+		}
+		nt := r.svc.Tracker
+		if nt.Node().ID != 1 {
+			t.Errorf("tracker elected on node %d, want 1 (lowest live)", nt.Node().ID)
+		}
+		if nt.PollDrops() == 0 {
+			t.Error("dropped polls to node 2 went uncounted")
+		}
+		if nt.snapshot[2] != 0 {
+			t.Errorf("unreachable server advertised %d free chunks", nt.snapshot[2])
+		}
+
+		faults.SetLinkDrop(1, 2, -1)
+		p.Sleep(2 * r.svc.Config.PollInterval)
+		if nt.snapshot[2] == 0 {
+			t.Error("healed server still invisible to the tracker")
+		}
+	})
+	r.sim.MustRun()
+}
+
+// TestReadSurfacesChunkLostAfterRetries: a remote chunk whose host
+// stays unreachable through the retry budget is reported lost with
+// ErrChunkLost, the same verdict a failed node gets.
+func TestReadSurfacesChunkLostAfterRetries(t *testing.T) {
+	r := newRig(t, 2, 2, nil)
+	flaky := &flakyTransport{inner: r.svc.Transport()}
+	r.svc.SetTransport(flaky)
+
+	data := pattern(4*r.svc.ChunkReal(), 9)
+	r.sim.Spawn("task", func(p *simtime.Proc) {
+		agent := r.svc.NewAgent(r.c.Nodes[0])
+		defer agent.Close()
+		f := agent.Create(p, "spill")
+		if err := f.Write(p, data); err != nil {
+			t.Errorf("write: %v", err)
+			return
+		}
+		if err := f.Close(p); err != nil {
+			t.Errorf("close: %v", err)
+			return
+		}
+		if f.Stats().ByKind[RemoteMem] == 0 {
+			t.Error("no remote chunks to lose")
+			return
+		}
+		flaky.failN = 1 << 30 // every exchange from now on is lost
+		buf := make([]byte, 1000)
+		var err error
+		for {
+			var n int
+			n, err = f.Read(p, buf)
+			if err != nil || n == 0 {
+				break
+			}
+		}
+		if !errors.Is(err, ErrChunkLost) {
+			t.Errorf("read over dead link = %v, want ErrChunkLost", err)
+		}
+	})
+	r.sim.MustRun()
+}

@@ -1,6 +1,7 @@
 package sponge
 
 import (
+	"errors"
 	"fmt"
 
 	"spongefiles/internal/media"
@@ -12,6 +13,10 @@ type FileStats struct {
 	BytesWritten int64
 	Chunks       int // chunk spills (Table 2's "Spilled Chunks")
 	ByKind       [4]int
+	// Retries counts remote exchanges that were lost in transit
+	// (ErrPeerUnreachable) and re-sent; always 0 on a fault-free
+	// transport.
+	Retries int
 }
 
 // chunkRef records where one chunk of the file lives. Disk and remote-FS
@@ -293,13 +298,13 @@ func (f *File) tryRemoteMemory(p *simtime.Proc, payload []byte) (chunkRef, bool)
 		if c.Node == f.agent.node.ID || f.deadNodes[c.Node] {
 			continue // local pool already tried, or known stale
 		}
-		target := svc.Servers[c.Node]
-		if svc.Config.RackLocalOnly && !svc.Cluster.SameRack(f.agent.node, target.node) {
+		if svc.Config.RackLocalOnly && !svc.Cluster.SameRack(f.agent.node, svc.Cluster.Nodes[c.Node]) {
 			continue
 		}
-		h, err := target.AllocWriteRemote(p, f.agent.node, f.agent.task, payload)
+		h, err := f.allocRemote(p, c.Node, payload)
 		if err != nil {
-			// Stale free-list entry (or failed node): forget it for the
+			// Stale free-list entry, failed node, or a peer that stayed
+			// unreachable through the retry budget: forget it for the
 			// rest of this file's life.
 			f.deadNodes[c.Node] = true
 			continue
@@ -308,6 +313,27 @@ func (f *File) tryRemoteMemory(p *simtime.Proc, payload []byte) (chunkRef, bool)
 		return chunkRef{kind: RemoteMem, node: c.Node, handle: h}, true
 	}
 	return chunkRef{}, false
+}
+
+// allocRemote attempts an allocate-and-write on one candidate through
+// the transport. Exchanges lost in transit (ErrPeerUnreachable) are
+// retried up to the service's retry limit with backoff; application
+// refusals — a full pool, a quota rejection, a failed node — are final
+// for this candidate and returned at once.
+func (f *File) allocRemote(p *simtime.Proc, node int, payload []byte) (int, error) {
+	svc := f.agent.svc
+	peer := svc.peer(node)
+	for attempt := 0; ; attempt++ {
+		h, err := peer.AllocWrite(p, f.agent.node, f.agent.task, payload)
+		if err == nil {
+			return h, nil
+		}
+		if !errors.Is(err, ErrPeerUnreachable) || attempt >= svc.Config.RetryLimit {
+			return 0, err
+		}
+		f.stats.Retries++
+		p.Sleep(svc.Config.RetryBackoff)
+	}
 }
 
 // Close flushes the final partial chunk and waits for in-flight
@@ -475,8 +501,7 @@ func (f *File) fetchRaw(p *simtime.Proc, i int) ([]byte, error) {
 		}
 		return buf, nil
 	case RemoteMem:
-		srv := f.agent.svc.Servers[ref.node]
-		if _, err := srv.ReadRemote(p, f.agent.node, ref.handle, buf); err != nil {
+		if err := f.readRemote(p, ref.node, ref.handle, buf); err != nil {
 			f.agent.svc.putBuf(buf)
 			return nil, err
 		}
@@ -503,6 +528,30 @@ func (f *File) fetchRaw(p *simtime.Proc, i int) ([]byte, error) {
 		return buf, nil
 	}
 	panic("sponge: unknown chunk kind")
+}
+
+// readRemote fetches a remote-memory chunk through the transport,
+// retrying lost exchanges. A peer that stays unreachable through the
+// retry budget means the chunk cannot be recovered: the caller gets
+// ErrChunkLost — exactly what a failed hosting node produces — and the
+// framework restarts the owning task (§3.1).
+func (f *File) readRemote(p *simtime.Proc, node, handle int, buf []byte) error {
+	svc := f.agent.svc
+	peer := svc.peer(node)
+	for attempt := 0; ; attempt++ {
+		_, err := peer.Read(p, f.agent.node, handle, buf)
+		if err == nil {
+			return nil
+		}
+		if !errors.Is(err, ErrPeerUnreachable) {
+			return err
+		}
+		if attempt >= svc.Config.RetryLimit {
+			return fmt.Errorf("%w: node %d unreachable after %d attempts", ErrChunkLost, node, attempt+1)
+		}
+		f.stats.Retries++
+		p.Sleep(svc.Config.RetryBackoff)
+	}
 }
 
 func (f *File) firstRemoteFSChunk() int {
@@ -555,7 +604,10 @@ func (f *File) Delete(p *simtime.Proc) {
 				pool.FreeChunk(ref.handle)
 			}
 		case RemoteMem:
-			f.agent.svc.Servers[ref.node].FreeRemote(p, f.agent.node, ref.handle)
+			// A free lost in the network is not retried: the chunk
+			// becomes an orphan and the owner node's garbage collector
+			// reclaims it once the task exits (§3.1.3).
+			_ = f.agent.svc.peer(ref.node).Free(p, f.agent.node, ref.handle)
 		}
 		if ref.data != nil {
 			f.agent.svc.putBuf(ref.data)

@@ -1,6 +1,8 @@
 package sponge
 
 import (
+	"sync"
+
 	"spongefiles/internal/cluster"
 	"spongefiles/internal/simtime"
 )
@@ -17,7 +19,11 @@ type Server struct {
 
 	// live is the node's task liveness registry: the execution framework
 	// registers a task's PID when it starts and unregisters it at exit.
-	live map[int64]bool
+	// The mutex matters outside the single-threaded simulator: when the
+	// server's registry backs a wire-mode daemon, liveness requests
+	// arrive concurrently from the TCP worker pool.
+	liveMu sync.Mutex
+	live   map[int64]bool
 
 	// Stats.
 	remoteAllocs, remoteAllocFails int64
@@ -36,13 +42,25 @@ func (s *Server) Pool() *Pool { return s.pool }
 
 // RegisterTask marks a local task live; the MapReduce framework calls
 // this when it launches a task on the node.
-func (s *Server) RegisterTask(pid int64) { s.live[pid] = true }
+func (s *Server) RegisterTask(pid int64) {
+	s.liveMu.Lock()
+	s.live[pid] = true
+	s.liveMu.Unlock()
+}
 
 // UnregisterTask marks a local task dead (normal exit or kill).
-func (s *Server) UnregisterTask(pid int64) { delete(s.live, pid) }
+func (s *Server) UnregisterTask(pid int64) {
+	s.liveMu.Lock()
+	delete(s.live, pid)
+	s.liveMu.Unlock()
+}
 
 // TaskAlive reports whether a local PID is registered.
-func (s *Server) TaskAlive(pid int64) bool { return s.live[pid] }
+func (s *Server) TaskAlive(pid int64) bool {
+	s.liveMu.Lock()
+	defer s.liveMu.Unlock()
+	return s.live[pid]
+}
 
 // FreeChunks returns the pool's current free chunk count (what the
 // server exports to the tracker).
@@ -110,6 +128,21 @@ func (s *Server) FreeRemote(p *simtime.Proc, from *cluster.Node, h int) {
 	s.pool.FreeChunk(h)
 }
 
+// FreeSpaceRemote answers a free-space poll from another node (what the
+// memory tracker sends every PollInterval), charging the control round
+// trip.
+func (s *Server) FreeSpaceRemote(p *simtime.Proc, from *cluster.Node) (int, error) {
+	s.svc.Cluster.RPC(p, from, s.node, ctlBytes, ctlBytes)
+	return s.pool.Free(), nil
+}
+
+// TaskAliveRemote answers a delegated liveness check from another node's
+// garbage collector (§3.1.3), charging the control round trip.
+func (s *Server) TaskAliveRemote(p *simtime.Proc, from *cluster.Node, pid int64) (bool, error) {
+	s.svc.Cluster.RPC(p, from, s.node, ctlBytes, ctlBytes)
+	return s.TaskAlive(pid), nil
+}
+
 // --- Local (via-server) operations -------------------------------------
 //
 // Tasks normally use the shared-memory path for local chunks; going
@@ -159,7 +192,10 @@ func (s *Server) ReadLocalIPC(p *simtime.Proc, h int, buf []byte) (int, error) {
 
 // gcSweep frees chunks whose owner task is dead. Liveness of local owners
 // is checked directly; liveness of remote owners is delegated to the
-// owner node's server (§3.1.3), costing a control round trip.
+// owner node's server (§3.1.3), costing a control round trip. A liveness
+// query lost in the network is treated as "alive": freeing a live task's
+// chunks on a dropped message would corrupt it, while an orphan merely
+// waits for the next sweep.
 func (s *Server) gcSweep(p *simtime.Proc) int {
 	freed := 0
 	for owner := range s.pool.Owners() {
@@ -167,9 +203,11 @@ func (s *Server) gcSweep(p *simtime.Proc) int {
 		if owner.Node == s.node.ID {
 			alive = s.TaskAlive(owner.PID)
 		} else if owner.Node >= 0 && owner.Node < len(s.svc.Servers) {
-			peer := s.svc.Servers[owner.Node]
-			s.svc.Cluster.RPC(p, s.node, peer.node, ctlBytes, ctlBytes)
-			alive = peer.TaskAlive(owner.PID)
+			var err error
+			alive, err = s.svc.peer(owner.Node).TaskAlive(p, s.node, owner.PID)
+			if err != nil {
+				alive = true
+			}
 		}
 		if !alive {
 			n := s.pool.FreeOwnedBy(owner)

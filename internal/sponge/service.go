@@ -35,6 +35,17 @@ type ServiceConfig struct {
 	RemoteDisabled bool
 	// QuotaChunksPerTask caps chunks per task per node; 0 = unlimited.
 	QuotaChunksPerTask int
+	// RetryLimit is how many times a lost exchange (ErrPeerUnreachable)
+	// with one peer is retried before the peer is given up: the write
+	// path blacklists the candidate, the read path reports the chunk
+	// lost, the tracker records the server as having no free space. 0
+	// means the default (2); negative disables retries. Application
+	// errors — a full pool, a quota rejection — are never retried.
+	RetryLimit int
+	// RetryBackoff is the virtual time waited between retries of a lost
+	// exchange; 0 means the default (20 ms). Only charged when a
+	// transport fault actually occurs, so fault-free runs are unaffected.
+	RetryBackoff simtime.Duration
 	// LocalDiskEnabled allows the local-disk fallback; disable to force
 	// the RemoteStore path in tests.
 	LocalDiskEnabled bool
@@ -73,6 +84,12 @@ type Service struct {
 	chunkReal int
 	nextPID   int64
 
+	// transport carries every node-to-node exchange (allocation, reads,
+	// frees, tracker polls, liveness checks). The default simTransport
+	// calls peer Servers directly and charges virtual time; SetTransport
+	// swaps in the wire adapter (real TCP) or a fault-injecting wrapper.
+	transport Transport
+
 	// bufs recycles chunk payload buffers across every file of the
 	// service (staging, async hand-off, fetch, prefetch).
 	bufs *bufPool
@@ -101,12 +118,21 @@ func Start(c *cluster.Cluster, cfg ServiceConfig) *Service {
 	if cfg.GCInterval <= 0 {
 		cfg.GCInterval = 30 * simtime.Second
 	}
+	if cfg.RetryLimit == 0 {
+		cfg.RetryLimit = 2
+	} else if cfg.RetryLimit < 0 {
+		cfg.RetryLimit = 0
+	}
+	if cfg.RetryBackoff <= 0 {
+		cfg.RetryBackoff = 20 * simtime.Millisecond
+	}
 	s := &Service{
 		Cluster:   c,
 		Config:    cfg,
 		chunkReal: c.Cfg.R(cfg.ChunkVirtual),
 		dead:      make([]bool, len(c.Nodes)),
 	}
+	s.transport = simTransport{s}
 	s.bufs = newBufPool(s.chunkReal, !cfg.DisableBufferRecycling)
 	chunksPerNode := int(c.Cfg.SpongeMemory / cfg.ChunkVirtual)
 	for _, n := range c.Nodes {
@@ -131,6 +157,25 @@ func Start(c *cluster.Cluster, cfg ServiceConfig) *Service {
 }
 
 func (s *Service) hardware() media.Hardware { return s.Cluster.Cfg.Hardware }
+
+// Transport returns the transport currently carrying the service's
+// node-to-node exchanges (initially the direct-call simulated one).
+func (s *Service) Transport() Transport { return s.transport }
+
+// SetTransport installs a different transport — the wire adapter to run
+// the allocator chain, tracker polling, GC liveness checks, and failover
+// over real TCP, or a fault-injecting wrapper (NewFaultTransport) to
+// exercise lost messages and partitions. Install before any task runs;
+// in-flight operations on the old transport are not migrated.
+func (s *Service) SetTransport(t Transport) {
+	if t == nil {
+		t = simTransport{s}
+	}
+	s.transport = t
+}
+
+// peer returns the transport's handle on a node's sponge server.
+func (s *Service) peer(node int) Peer { return s.transport.Peer(node) }
 
 // ChunkReal returns the real payload bytes per chunk.
 func (s *Service) ChunkReal() int { return s.chunkReal }

@@ -82,6 +82,12 @@ var (
 	ErrChunkLost = errors.New("sponge: chunk lost to node failure")
 	// ErrQuotaExceeded reports that a task hit its per-node chunk quota.
 	ErrQuotaExceeded = errors.New("sponge: per-node quota exceeded")
+	// ErrPeerUnreachable reports that a transport-level exchange with a
+	// peer was lost — timeout, dropped message, network partition, or a
+	// dead connection. Unlike the application errors above, the request
+	// may or may not have executed on the peer; callers retry a bounded
+	// number of times (Config.RetryLimit) before blacklisting the peer.
+	ErrPeerUnreachable = errors.New("sponge: peer unreachable")
 )
 
 // RemoteStore is the distributed-filesystem hook used for last-resort

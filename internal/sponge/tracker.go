@@ -1,6 +1,7 @@
 package sponge
 
 import (
+	"errors"
 	"sort"
 
 	"spongefiles/internal/cluster"
@@ -22,6 +23,10 @@ type Tracker struct {
 	lastPoll simtime.Time
 	polls    int64
 	queries  int64
+	// pollDrops counts per-server polls lost in the network even after
+	// retrying; the server is recorded as having no free space until a
+	// later poll reaches it (the stale-free-list trade of §3.1.1).
+	pollDrops int64
 }
 
 func newTracker(svc *Service, node *cluster.Node) *Tracker {
@@ -46,18 +51,43 @@ func (s *Service) trackerLoop(p *simtime.Proc) {
 	}
 }
 
-// pollOnce refreshes the snapshot immediately, skipping dead servers.
+// pollOnce refreshes the snapshot immediately, skipping dead servers. A
+// poll lost in the network (ErrPeerUnreachable) is retried up to the
+// service's retry limit; a server that stays unreachable is recorded as
+// having no free space — allocation simply stops considering it until a
+// later poll gets through, the same degradation a stale free list gives.
 func (t *Tracker) pollOnce(p *simtime.Proc) {
-	for i, srv := range t.svc.Servers {
+	for i := range t.svc.Servers {
 		if t.svc.dead[i] {
 			t.snapshot[i] = 0
 			continue
 		}
-		t.svc.Cluster.RPC(p, t.node, srv.node, ctlBytes, ctlBytes)
-		t.snapshot[i] = srv.FreeChunks()
+		free, err := t.pollServer(p, i)
+		if err != nil {
+			t.snapshot[i] = 0
+			t.pollDrops++
+			continue
+		}
+		t.snapshot[i] = free
 	}
 	t.lastPoll = p.Now()
 	t.polls++
+}
+
+// pollServer stats one server over the transport, retrying lost
+// exchanges with backoff.
+func (t *Tracker) pollServer(p *simtime.Proc, node int) (int, error) {
+	peer := t.svc.peer(node)
+	for attempt := 0; ; attempt++ {
+		free, err := peer.FreeSpace(p, t.node)
+		if err == nil {
+			return free, nil
+		}
+		if !errors.Is(err, ErrPeerUnreachable) || attempt >= t.svc.Config.RetryLimit {
+			return 0, err
+		}
+		p.Sleep(t.svc.Config.RetryBackoff)
+	}
 }
 
 // queryTimeout is what a task waits before giving up on a dead tracker.
@@ -100,6 +130,10 @@ func (t *Tracker) Query(p *simtime.Proc, from *cluster.Node) []FreeEntry {
 
 // Stats returns (polls completed, queries served).
 func (t *Tracker) Stats() (polls, queries int64) { return t.polls, t.queries }
+
+// PollDrops returns how many per-server polls were lost in the network
+// even after retrying.
+func (t *Tracker) PollDrops() int64 { return t.pollDrops }
 
 // LastPoll returns when the snapshot was last refreshed.
 func (t *Tracker) LastPoll() simtime.Time { return t.lastPoll }

@@ -64,7 +64,7 @@ func Dial(addr string) (*Client, error) {
 	c := &Client{
 		conn:    conn,
 		br:      bufio.NewReaderSize(conn, 64<<10),
-		fw:      newFrameWriter(conn),
+		fw:      newFrameWriter(conn, 0),
 		version: ProtocolV1,
 	}
 	hello, err := c.hello()
@@ -104,7 +104,7 @@ func DialV1(addr string) (*Client, error) {
 	c := &Client{
 		conn:    conn,
 		br:      bufio.NewReaderSize(conn, 64<<10),
-		fw:      newFrameWriter(conn),
+		fw:      newFrameWriter(conn, 0),
 		version: ProtocolV1,
 	}
 	_, _, size, err := c.Stat()

@@ -34,6 +34,7 @@ import (
 	"net"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // Protocol versions exchanged in the hello.
@@ -67,6 +68,12 @@ const (
 	// version (u8), free chunks (u32), total chunks (u32), chunk size
 	// (u32) — the stat fields spare v2 dialers a second round trip.
 	OpHello
+	// OpFreeList asks a TCP-served tracker for its latest free list.
+	// Response: entry count (u16), then per entry free chunks (u32),
+	// address length (u16), address bytes. Sponge servers answer
+	// StatusBadRequest (their reply to any unknown op), which is also
+	// what a pre-FreeList peer answers — callers degrade gracefully.
+	OpFreeList
 )
 
 // Status codes.
@@ -117,13 +124,14 @@ const directWriteMin = 4 << 10
 type frameWriter struct {
 	conn net.Conn
 	bw   *bufio.Writer
+	wto  time.Duration // per-write deadline; 0 = none
 	mu   sync.Mutex
 	q    atomic.Int32 // writers queued or writing
 	err  error        // sticky; guarded by mu
 }
 
-func newFrameWriter(conn net.Conn) *frameWriter {
-	return &frameWriter{conn: conn, bw: bufio.NewWriterSize(conn, 64<<10)}
+func newFrameWriter(conn net.Conn, writeTimeout time.Duration) *frameWriter {
+	return &frameWriter{conn: conn, bw: bufio.NewWriterSize(conn, 64<<10), wto: writeTimeout}
 }
 
 // writeFrame queues one frame (pre-built header plus optional payload)
@@ -133,6 +141,9 @@ func (w *frameWriter) writeFrame(hdr, payload []byte) error {
 	w.q.Add(1)
 	w.mu.Lock()
 	err := w.err
+	if err == nil && w.wto > 0 {
+		err = w.conn.SetWriteDeadline(time.Now().Add(w.wto))
+	}
 	if err == nil {
 		if len(payload) >= directWriteMin {
 			// Flush whatever small frames are pending, then hand the

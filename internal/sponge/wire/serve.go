@@ -1,0 +1,303 @@
+package wire
+
+import (
+	"bufio"
+	"io"
+	"log"
+	"net"
+	"sync"
+	"time"
+)
+
+// defaultInflight is the default per-connection worker-pool bound: how
+// many v2 requests one connection may have executing at once. The
+// reader stops pulling frames when all slots are busy, so it doubles as
+// backpressure.
+const defaultInflight = 16
+
+// Options tunes a wire daemon (the sponge server and the TCP-served
+// tracker share them). The zero value reproduces the historical
+// behaviour: 16 in-flight requests per connection, no I/O deadlines,
+// and an internal liveness registry.
+type Options struct {
+	// Inflight bounds the per-connection worker pool in v2 framing;
+	// 0 means the default (16).
+	Inflight int
+	// ReadTimeout is the per-frame read deadline: a connection that
+	// sends no complete frame for this long is dropped. 0 disables it.
+	ReadTimeout time.Duration
+	// WriteTimeout is the deadline applied to each response write or
+	// flush. 0 disables it.
+	WriteTimeout time.Duration
+	// Liveness, when non-nil, replaces the sponge server's internal
+	// task-liveness registry, so one registry can back both the
+	// in-process (simulated) path and the TCP path. Ignored by the
+	// tracker daemon.
+	Liveness Liveness
+}
+
+func (o Options) inflight() int {
+	if o.Inflight > 0 {
+		return o.Inflight
+	}
+	return defaultInflight
+}
+
+// Liveness is the task-liveness registry a sponge server consults for
+// OpPing and mutates for OpRegister/OpUnregister. Implementations must
+// be safe for concurrent use: requests dispatch through a concurrent
+// worker pool.
+type Liveness interface {
+	Register(pid uint64)
+	Unregister(pid uint64)
+	Alive(pid uint64) bool
+}
+
+// mapLiveness is the default internal registry.
+type mapLiveness struct {
+	mu   sync.Mutex
+	live map[uint64]bool
+}
+
+func newMapLiveness() *mapLiveness { return &mapLiveness{live: make(map[uint64]bool)} }
+
+func (m *mapLiveness) Register(pid uint64) {
+	m.mu.Lock()
+	m.live[pid] = true
+	m.mu.Unlock()
+}
+
+func (m *mapLiveness) Unregister(pid uint64) {
+	m.mu.Lock()
+	delete(m.live, pid)
+	m.mu.Unlock()
+}
+
+func (m *mapLiveness) Alive(pid uint64) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.live[pid]
+}
+
+// daemon is the connection-serving core shared by the sponge server and
+// the TCP tracker: it accepts connections, runs each in v1 lock-step
+// framing until an OpHello upgrades it to the pipelined v2 framing, and
+// feeds every request through the owner's dispatch function. Responses
+// may come from the recycled-buffer pool; dispatch results are handed
+// back to recycle after writing.
+type daemon struct {
+	ln   net.Listener
+	opts Options
+
+	// frameLimit bounds inbound frames; helloResp builds the v1-framed
+	// OpHello reply; dispatch executes one request body.
+	frameLimit int
+	helloResp  func() []byte
+	dispatch   func(req []byte) []byte
+
+	mu    sync.Mutex
+	conns map[net.Conn]struct{}
+
+	// bufs recycles chunk-size-class request and response buffers so the
+	// steady-state hot path does not allocate.
+	bufs sync.Pool
+
+	wg        sync.WaitGroup
+	closeOnce sync.Once
+	closed    chan struct{}
+}
+
+// minRecycledBuf is the smallest buffer worth recycling; tiny status
+// responses are cheaper to allocate than to pool.
+const minRecycledBuf = 1 << 10
+
+// startDaemon listens on addr and begins accepting connections.
+func startDaemon(addr string, opts Options, frameLimit int, helloResp func() []byte, dispatch func([]byte) []byte) (*daemon, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	d := &daemon{
+		ln:         ln,
+		opts:       opts,
+		frameLimit: frameLimit,
+		helloResp:  helloResp,
+		dispatch:   dispatch,
+		conns:      make(map[net.Conn]struct{}),
+		closed:     make(chan struct{}),
+	}
+	d.wg.Add(1)
+	go d.acceptLoop()
+	return d, nil
+}
+
+// addr returns the listening address.
+func (d *daemon) addr() string { return d.ln.Addr().String() }
+
+// close stops the listener, closes every live connection, and waits for
+// their handlers. Safe to call more than once.
+func (d *daemon) close() error {
+	var err error
+	d.closeOnce.Do(func() {
+		close(d.closed)
+		err = d.ln.Close()
+		d.mu.Lock()
+		for conn := range d.conns {
+			conn.Close()
+		}
+		d.mu.Unlock()
+	})
+	d.wg.Wait()
+	return err
+}
+
+func (d *daemon) acceptLoop() {
+	defer d.wg.Done()
+	for {
+		conn, err := d.ln.Accept()
+		if err != nil {
+			select {
+			case <-d.closed:
+				return
+			default:
+				log.Printf("wire: accept: %v", err)
+				return
+			}
+		}
+		d.mu.Lock()
+		select {
+		case <-d.closed:
+			d.mu.Unlock()
+			conn.Close()
+			return
+		default:
+		}
+		d.conns[conn] = struct{}{}
+		d.mu.Unlock()
+		d.wg.Add(1)
+		go func() {
+			defer d.wg.Done()
+			defer conn.Close()
+			defer func() {
+				d.mu.Lock()
+				delete(d.conns, conn)
+				d.mu.Unlock()
+			}()
+			d.handle(conn)
+		}()
+	}
+}
+
+// getBuf returns a buffer of exactly need bytes, reusing a recycled one
+// when it is big enough. When the pool is empty (or only holds smaller
+// buffers) the fallback allocation is sized to need — the actual chunk
+// length — never to the full chunk size.
+func (d *daemon) getBuf(need int) []byte {
+	if v := d.bufs.Get(); v != nil {
+		if b := *(v.(*[]byte)); cap(b) >= need {
+			return b[:need]
+		}
+	}
+	return make([]byte, need)
+}
+
+// recycle returns a buffer to the pool for reuse.
+func (d *daemon) recycle(b []byte) {
+	if cap(b) < minRecycledBuf {
+		return
+	}
+	b = b[:cap(b)]
+	d.bufs.Put(&b)
+}
+
+// armRead applies the per-frame read deadline, when configured.
+func (d *daemon) armRead(conn net.Conn) {
+	if d.opts.ReadTimeout > 0 {
+		conn.SetReadDeadline(time.Now().Add(d.opts.ReadTimeout))
+	}
+}
+
+// armWrite applies the write deadline, when configured.
+func (d *daemon) armWrite(conn net.Conn) {
+	if d.opts.WriteTimeout > 0 {
+		conn.SetWriteDeadline(time.Now().Add(d.opts.WriteTimeout))
+	}
+}
+
+// handle runs a connection in v1 lock-step framing until it either
+// drops or upgrades itself to v2 via OpHello.
+func (d *daemon) handle(conn net.Conn) {
+	br := bufio.NewReaderSize(conn, 32<<10)
+	for {
+		d.armRead(conn)
+		req, err := readFrame(br, d.frameLimit)
+		if err != nil {
+			return // EOF or protocol violation: drop the connection
+		}
+		if len(req) == 2 && req[0] == OpHello {
+			if req[1] >= ProtocolV2 {
+				d.armWrite(conn)
+				if err := writeFrame(conn, d.helloResp()); err != nil {
+					return
+				}
+				d.serveV2(conn, br)
+				return
+			}
+			// A v1 hello keeps v1 framing; any other version we cannot
+			// serve is answered like an unknown op.
+			d.armWrite(conn)
+			if err := writeFrame(conn, []byte{StatusBadRequest}); err != nil {
+				return
+			}
+			continue
+		}
+		resp := d.dispatch(req)
+		d.armWrite(conn)
+		err = writeFrame(conn, resp)
+		d.recycle(resp)
+		if err != nil {
+			return
+		}
+	}
+}
+
+// serveV2 runs a connection in pipelined framing: the reader pulls
+// frames and hands each to a worker (bounded by Options.Inflight);
+// workers dispatch and write their response — tagged with the request
+// ID — in completion order through the connection's batching writer,
+// which coalesces small responses into one flush when several workers
+// finish together.
+func (d *daemon) serveV2(conn net.Conn, br *bufio.Reader) {
+	fw := newFrameWriter(conn, d.opts.WriteTimeout)
+	sem := make(chan struct{}, d.opts.inflight())
+	var wg sync.WaitGroup
+	defer wg.Wait()
+	for {
+		d.armRead(conn)
+		n, id, err := readFrameV2Header(br, d.frameLimit)
+		if err != nil {
+			return
+		}
+		if n < 1 {
+			return
+		}
+		req := d.getBuf(n)
+		if _, err := io.ReadFull(br, req); err != nil {
+			d.recycle(req)
+			return
+		}
+		sem <- struct{}{}
+		wg.Add(1)
+		go func(id uint32, req []byte) {
+			defer wg.Done()
+			resp := d.dispatch(req)
+			d.recycle(req)
+			err := writeFrameV2(fw, id, resp)
+			d.recycle(resp)
+			<-sem
+			if err != nil {
+				conn.Close() // unblocks the reader; the connection is gone
+			}
+		}(id, req)
+	}
+}

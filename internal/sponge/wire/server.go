@@ -1,25 +1,11 @@
 package wire
 
 import (
-	"bufio"
 	"encoding/binary"
 	"errors"
-	"io"
-	"log"
-	"net"
-	"sync"
 
 	"spongefiles/internal/sponge"
 )
-
-// serverInflight bounds the per-connection worker pool: how many v2
-// requests one connection may have executing at once. The reader stops
-// pulling frames when all slots are busy, so it doubles as backpressure.
-const serverInflight = 16
-
-// minRecycledBuf is the smallest buffer worth recycling; tiny status
-// responses are cheaper to allocate than to pool.
-const minRecycledBuf = 1 << 10
 
 // Server serves a node's sponge pool over TCP. The pool is the same
 // structure the in-process allocators use; its internal lock makes the
@@ -31,125 +17,45 @@ const minRecycledBuf = 1 << 10
 // OpHello with version ≥ 2 is switched to the pipelined v2 framing,
 // where requests dispatch concurrently through a bounded worker pool
 // and responses (tagged with the request ID) are written back in
-// completion order.
+// completion order. The connection machinery itself lives in the
+// daemon type, shared with the TCP tracker.
 type Server struct {
 	pool *sponge.Pool
-	ln   net.Listener
-
-	mu    sync.Mutex
-	live  map[uint64]bool
-	conns map[net.Conn]struct{}
-
-	// bufs recycles chunk-size-class request and response buffers so the
-	// steady-state hot path (OpAllocWrite ingest, OpRead responses) does
-	// not allocate.
-	bufs sync.Pool
-
-	wg     sync.WaitGroup
-	closed chan struct{}
+	live Liveness
+	d    *daemon
 }
 
-// Serve starts a server for pool on addr (e.g. "127.0.0.1:0") and
-// returns once it is listening.
+// Serve starts a server for pool on addr (e.g. "127.0.0.1:0") with
+// default options and returns once it is listening.
 func Serve(pool *sponge.Pool, addr string) (*Server, error) {
-	ln, err := net.Listen("tcp", addr)
+	return ServeOptions(pool, addr, Options{})
+}
+
+// ServeOptions starts a server for pool on addr with explicit tuning:
+// worker-pool bound, I/O deadlines, and optionally an external
+// task-liveness registry shared with the in-process sponge server.
+func ServeOptions(pool *sponge.Pool, addr string, opts Options) (*Server, error) {
+	s := &Server{pool: pool, live: opts.Liveness}
+	if s.live == nil {
+		s.live = newMapLiveness()
+	}
+	d, err := startDaemon(addr, opts, pool.ChunkSize()+frameSlack, s.helloResponse, s.dispatch)
 	if err != nil {
 		return nil, err
 	}
-	s := &Server{
-		pool:   pool,
-		ln:     ln,
-		live:   make(map[uint64]bool),
-		conns:  make(map[net.Conn]struct{}),
-		closed: make(chan struct{}),
-	}
-	s.wg.Add(1)
-	go s.acceptLoop()
+	s.d = d
 	return s, nil
 }
 
 // Addr returns the listening address.
-func (s *Server) Addr() string { return s.ln.Addr().String() }
+func (s *Server) Addr() string { return s.d.addr() }
 
 // Close stops the listener, closes every live connection, and waits for
 // their handlers.
-func (s *Server) Close() error {
-	close(s.closed)
-	err := s.ln.Close()
-	s.mu.Lock()
-	for conn := range s.conns {
-		conn.Close()
-	}
-	s.mu.Unlock()
-	s.wg.Wait()
-	return err
-}
+func (s *Server) Close() error { return s.d.close() }
 
 // TaskAlive reports whether a pid is registered live on this node.
-func (s *Server) TaskAlive(pid uint64) bool {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.live[pid]
-}
-
-func (s *Server) acceptLoop() {
-	defer s.wg.Done()
-	for {
-		conn, err := s.ln.Accept()
-		if err != nil {
-			select {
-			case <-s.closed:
-				return
-			default:
-				log.Printf("wire: accept: %v", err)
-				return
-			}
-		}
-		s.mu.Lock()
-		select {
-		case <-s.closed:
-			s.mu.Unlock()
-			conn.Close()
-			return
-		default:
-		}
-		s.conns[conn] = struct{}{}
-		s.mu.Unlock()
-		s.wg.Add(1)
-		go func() {
-			defer s.wg.Done()
-			defer conn.Close()
-			defer func() {
-				s.mu.Lock()
-				delete(s.conns, conn)
-				s.mu.Unlock()
-			}()
-			s.handle(conn)
-		}()
-	}
-}
-
-// getBuf returns a buffer of exactly need bytes, reusing a recycled one
-// when it is big enough. When the pool is empty (or only holds smaller
-// buffers) the fallback allocation is sized to need — the actual chunk
-// length — never to the full chunk size.
-func (s *Server) getBuf(need int) []byte {
-	if v := s.bufs.Get(); v != nil {
-		if b := *(v.(*[]byte)); cap(b) >= need {
-			return b[:need]
-		}
-	}
-	return make([]byte, need)
-}
-
-// recycle returns a buffer to the pool for reuse.
-func (s *Server) recycle(b []byte) {
-	if cap(b) < minRecycledBuf {
-		return
-	}
-	b = b[:cap(b)]
-	s.bufs.Put(&b)
-}
+func (s *Server) TaskAlive(pid uint64) bool { return s.live.Alive(pid) }
 
 // helloResponse builds the v1-framed reply to OpHello: status, version,
 // and the stat triple so v2 dialers skip a round trip.
@@ -163,83 +69,8 @@ func (s *Server) helloResponse() []byte {
 	return out
 }
 
-// handle runs a connection in v1 lock-step framing until it either
-// drops or upgrades itself to v2 via OpHello.
-func (s *Server) handle(conn net.Conn) {
-	br := bufio.NewReaderSize(conn, 32<<10)
-	limit := s.pool.ChunkSize() + frameSlack
-	for {
-		req, err := readFrame(br, limit)
-		if err != nil {
-			return // EOF or protocol violation: drop the connection
-		}
-		if len(req) == 2 && req[0] == OpHello {
-			if req[1] >= ProtocolV2 {
-				if err := writeFrame(conn, s.helloResponse()); err != nil {
-					return
-				}
-				s.serveV2(conn, br)
-				return
-			}
-			// A v1 hello keeps v1 framing; any other version we cannot
-			// serve is answered like an unknown op.
-			if err := writeFrame(conn, []byte{StatusBadRequest}); err != nil {
-				return
-			}
-			continue
-		}
-		resp := s.dispatch(req)
-		err = writeFrame(conn, resp)
-		s.recycle(resp)
-		if err != nil {
-			return
-		}
-	}
-}
-
-// serveV2 runs a connection in pipelined framing: the reader pulls
-// frames and hands each to a worker (bounded by serverInflight);
-// workers dispatch against the pool and write their response — tagged
-// with the request ID — in completion order through the connection's
-// batching writer, which coalesces small responses into one flush when
-// several workers finish together.
-func (s *Server) serveV2(conn net.Conn, br *bufio.Reader) {
-	limit := s.pool.ChunkSize() + frameSlack
-	fw := newFrameWriter(conn)
-	sem := make(chan struct{}, serverInflight)
-	var wg sync.WaitGroup
-	defer wg.Wait()
-	for {
-		n, id, err := readFrameV2Header(br, limit)
-		if err != nil {
-			return
-		}
-		if n < 1 {
-			return
-		}
-		req := s.getBuf(n)
-		if _, err := io.ReadFull(br, req); err != nil {
-			s.recycle(req)
-			return
-		}
-		sem <- struct{}{}
-		wg.Add(1)
-		go func(id uint32, req []byte) {
-			defer wg.Done()
-			resp := s.dispatch(req)
-			s.recycle(req)
-			err := writeFrameV2(fw, id, resp)
-			s.recycle(resp)
-			<-sem
-			if err != nil {
-				conn.Close() // unblocks the reader; the connection is gone
-			}
-		}(id, req)
-	}
-}
-
 // dispatch executes one request and builds the response body. Responses
-// may come from the server's buffer pool; callers hand them to recycle
+// may come from the daemon's buffer pool; callers hand them to recycle
 // after writing.
 func (s *Server) dispatch(req []byte) []byte {
 	if len(req) < 1 {
@@ -282,10 +113,10 @@ func (s *Server) dispatch(req []byte) []byte {
 		if err != nil {
 			return []byte{errStatus(err)}
 		}
-		buf := s.getBuf(1 + n)
+		buf := s.d.getBuf(1 + n)
 		m, err := s.pool.Read(h, buf[1:])
 		if err != nil {
-			s.recycle(buf)
+			s.d.recycle(buf)
 			return []byte{errStatus(err)}
 		}
 		buf[0] = StatusOK
@@ -312,7 +143,7 @@ func (s *Server) dispatch(req []byte) []byte {
 			return []byte{StatusBadRequest}
 		}
 		alive := byte(0)
-		if s.TaskAlive(binary.LittleEndian.Uint64(payload)) {
+		if s.live.Alive(binary.LittleEndian.Uint64(payload)) {
 			alive = 1
 		}
 		return []byte{StatusOK, alive}
@@ -321,13 +152,11 @@ func (s *Server) dispatch(req []byte) []byte {
 			return []byte{StatusBadRequest}
 		}
 		pid := binary.LittleEndian.Uint64(payload)
-		s.mu.Lock()
 		if op == OpRegister {
-			s.live[pid] = true
+			s.live.Register(pid)
 		} else {
-			delete(s.live, pid)
+			s.live.Unregister(pid)
 		}
-		s.mu.Unlock()
 		return []byte{StatusOK}
 	}
 	return []byte{StatusBadRequest}
@@ -344,3 +173,15 @@ func errStatus(err error) byte {
 	}
 	return StatusBadRequest
 }
+
+// NodeLiveness adapts a simulated sponge server's mutex-guarded task
+// registry to the wire Liveness interface, so a TCP server and the
+// in-process server on the same node answer liveness from one source of
+// truth (pass it as Options.Liveness).
+type NodeLiveness struct {
+	Srv *sponge.Server
+}
+
+func (l NodeLiveness) Register(pid uint64)   { l.Srv.RegisterTask(int64(pid)) }
+func (l NodeLiveness) Unregister(pid uint64) { l.Srv.UnregisterTask(int64(pid)) }
+func (l NodeLiveness) Alive(pid uint64) bool { return l.Srv.TaskAlive(int64(pid)) }

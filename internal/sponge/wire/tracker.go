@@ -1,6 +1,8 @@
 package wire
 
 import (
+	"encoding/binary"
+	"fmt"
 	"sort"
 	"sync"
 	"time"
@@ -146,6 +148,112 @@ func (t *Tracker) Query() []TrackerEntry {
 		return out[i].Addr < out[j].Addr
 	})
 	return out
+}
+
+// totalFree sums the last-polled free chunks across all servers.
+func (t *Tracker) totalFree() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	sum := 0
+	for _, free := range t.free {
+		sum += free
+	}
+	return sum
+}
+
+// TrackerServer exposes a tracker over the wire protocol, so remote
+// tasks query the free list with the same framed TCP exchanges they use
+// against sponge servers. It answers OpFreeList with the snapshot and
+// OpStat with the aggregate free count (total and chunk size are
+// reported as 0: the tracker serves no chunks itself); every other op
+// gets StatusBadRequest.
+type TrackerServer struct {
+	t *Tracker
+	d *daemon
+}
+
+// Serve starts serving the tracker's free list on addr.
+func (t *Tracker) Serve(addr string, opts Options) (*TrackerServer, error) {
+	ts := &TrackerServer{t: t}
+	d, err := startDaemon(addr, opts, handshakeLimit, ts.helloResponse, ts.dispatch)
+	if err != nil {
+		return nil, err
+	}
+	ts.d = d
+	return ts, nil
+}
+
+// Addr returns the listening address.
+func (ts *TrackerServer) Addr() string { return ts.d.addr() }
+
+// Close stops the listener and its connections (the tracker itself
+// keeps polling; close it separately).
+func (ts *TrackerServer) Close() error { return ts.d.close() }
+
+func (ts *TrackerServer) helloResponse() []byte {
+	out := make([]byte, helloRespLen)
+	out[0] = StatusOK
+	out[1] = ProtocolV2
+	binary.LittleEndian.PutUint32(out[2:6], uint32(ts.t.totalFree()))
+	return out
+}
+
+func (ts *TrackerServer) dispatch(req []byte) []byte {
+	if len(req) < 1 {
+		return []byte{StatusBadRequest}
+	}
+	switch req[0] {
+	case OpStat:
+		out := make([]byte, 13)
+		out[0] = StatusOK
+		binary.LittleEndian.PutUint32(out[1:5], uint32(ts.t.totalFree()))
+		return out
+	case OpFreeList:
+		entries := ts.t.Query()
+		out := make([]byte, 3, 3+len(entries)*16)
+		out[0] = StatusOK
+		binary.LittleEndian.PutUint16(out[1:3], uint16(len(entries)))
+		for _, e := range entries {
+			var fixed [6]byte
+			binary.LittleEndian.PutUint32(fixed[0:4], uint32(e.Free))
+			binary.LittleEndian.PutUint16(fixed[4:6], uint16(len(e.Addr)))
+			out = append(out, fixed[:]...)
+			out = append(out, e.Addr...)
+		}
+		return out
+	}
+	return []byte{StatusBadRequest}
+}
+
+// FreeList queries a TCP-served tracker for its latest free list, most
+// free first. Works over both framings: a v1 connection sends the op
+// lock-step, a v2 connection pipelines it like any other request.
+func (c *Client) FreeList() ([]TrackerEntry, error) {
+	rep, err := c.do([]byte{OpFreeList}, nil, nil)
+	if err != nil {
+		return nil, err
+	}
+	body := rep.body
+	if len(body) < 2 {
+		return nil, fmt.Errorf("wire: bad free-list response")
+	}
+	count := int(binary.LittleEndian.Uint16(body[0:2]))
+	body = body[2:]
+	out := make([]TrackerEntry, 0, count)
+	for i := 0; i < count; i++ {
+		if len(body) < 6 {
+			return nil, fmt.Errorf("wire: truncated free-list response")
+		}
+		free := int(binary.LittleEndian.Uint32(body[0:4]))
+		alen := int(binary.LittleEndian.Uint16(body[4:6]))
+		body = body[6:]
+		if len(body) < alen {
+			return nil, fmt.Errorf("wire: truncated free-list response")
+		}
+		out = append(out, TrackerEntry{Addr: string(body[:alen]), Free: free})
+		body = body[alen:]
+	}
+	return out, nil
 }
 
 // Unreachable returns the addresses whose last poll failed.

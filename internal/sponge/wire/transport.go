@@ -1,0 +1,214 @@
+package wire
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+
+	"spongefiles/internal/cluster"
+	"spongefiles/internal/simtime"
+	"spongefiles/internal/sponge"
+)
+
+// Transport adapts the pipelined wire client to the sponge package's
+// transport seam, so a simulated workload's allocator chain, tracker
+// polling, GC liveness checks, and failover all run over real TCP
+// against live sponge daemons (install with Service.SetTransport).
+//
+// Nodes are mapped to server addresses; a node with no address is
+// served by the fallback transport (typically the service's simulated
+// one — the usual split is "my own node is in-process, everyone else is
+// a socket away"). One pipelined client per remote node is cached
+// across operations; any transport-level failure drops the cached
+// client, reports sponge.ErrPeerUnreachable (the retryable class), and
+// lets the next attempt re-dial. Application verdicts from the server —
+// no free chunk, quota exceeded, chunk lost — map to the corresponding
+// sponge errors, which callers never retry.
+//
+// The simtime.Proc threaded through the Peer methods is not charged:
+// time spent here is real wall-clock time on the sockets, not simulated
+// time.
+type Transport struct {
+	fallback sponge.Transport
+
+	mu      sync.Mutex
+	addrs   map[int]string
+	clients map[int]*Client
+	closed  bool
+}
+
+// NewTransport builds a transport routing each node in addrs over TCP
+// and every other node through fallback (which may be nil to make
+// unmapped nodes unreachable).
+func NewTransport(addrs map[int]string, fallback sponge.Transport) *Transport {
+	a := make(map[int]string, len(addrs))
+	for node, addr := range addrs {
+		a[node] = addr
+	}
+	return &Transport{
+		fallback: fallback,
+		addrs:    a,
+		clients:  make(map[int]*Client),
+	}
+}
+
+// Close drops every cached client. Subsequent operations fail as
+// unreachable.
+func (t *Transport) Close() error {
+	t.mu.Lock()
+	t.closed = true
+	clients := t.clients
+	t.clients = make(map[int]*Client)
+	t.mu.Unlock()
+	var first error
+	for _, c := range clients {
+		if err := c.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// Peer returns the handle on a node's sponge server: a wire peer for
+// mapped nodes, the fallback transport's peer otherwise.
+func (t *Transport) Peer(node int) sponge.Peer {
+	t.mu.Lock()
+	_, mapped := t.addrs[node]
+	t.mu.Unlock()
+	if !mapped && t.fallback != nil {
+		return t.fallback.Peer(node)
+	}
+	return wirePeer{t: t, node: node}
+}
+
+// client returns the cached pipelined client for a node, dialing on
+// first use or after a failure dropped the previous one.
+func (t *Transport) client(node int) (*Client, error) {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return nil, fmt.Errorf("%w: wire transport closed", sponge.ErrPeerUnreachable)
+	}
+	c := t.clients[node]
+	addr, mapped := t.addrs[node]
+	t.mu.Unlock()
+	if c != nil {
+		return c, nil
+	}
+	if !mapped {
+		return nil, fmt.Errorf("%w: no wire address for node %d", sponge.ErrPeerUnreachable, node)
+	}
+	c, err := Dial(addr)
+	if err != nil {
+		return nil, fmt.Errorf("%w: dial node %d: %v", sponge.ErrPeerUnreachable, node, err)
+	}
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		c.Close()
+		return nil, fmt.Errorf("%w: wire transport closed", sponge.ErrPeerUnreachable)
+	}
+	if existing := t.clients[node]; existing != nil {
+		// A concurrent caller won the dial race; keep theirs.
+		t.mu.Unlock()
+		c.Close()
+		return existing, nil
+	}
+	t.clients[node] = c
+	t.mu.Unlock()
+	return c, nil
+}
+
+// mapErr translates a wire client error into the sponge error taxonomy.
+// Application verdicts pass through as their sponge equivalents; a
+// short caller buffer is the caller's bug and passes through unchanged;
+// anything else is a transport failure — the cached client is dropped
+// (the connection may be poisoned) and the error is reported as the
+// retryable sponge.ErrPeerUnreachable.
+func (t *Transport) mapErr(node int, c *Client, err error) error {
+	switch {
+	case err == nil:
+		return nil
+	case errors.Is(err, ErrNoFreeChunk):
+		return sponge.ErrNoFreeChunk
+	case errors.Is(err, ErrQuotaExceeded):
+		return sponge.ErrQuotaExceeded
+	case errors.Is(err, ErrChunkLost):
+		return sponge.ErrChunkLost
+	case errors.Is(err, ErrBadRequest), errors.Is(err, io.ErrShortBuffer):
+		return err
+	}
+	t.mu.Lock()
+	if t.clients[node] == c {
+		delete(t.clients, node)
+	}
+	t.mu.Unlock()
+	c.Close()
+	return fmt.Errorf("%w: node %d: %v", sponge.ErrPeerUnreachable, node, err)
+}
+
+// wirePeer carries one node's operations over the cached client.
+type wirePeer struct {
+	t    *Transport
+	node int
+}
+
+func (wp wirePeer) AllocWrite(p *simtime.Proc, from *cluster.Node, owner sponge.TaskID, data []byte) (int, error) {
+	c, err := wp.t.client(wp.node)
+	if err != nil {
+		return 0, err
+	}
+	h, err := c.AllocWrite(owner, data)
+	if err != nil {
+		return 0, wp.t.mapErr(wp.node, c, err)
+	}
+	return h, nil
+}
+
+func (wp wirePeer) Read(p *simtime.Proc, to *cluster.Node, handle int, buf []byte) (int, error) {
+	c, err := wp.t.client(wp.node)
+	if err != nil {
+		return 0, err
+	}
+	n, err := c.ReadInto(handle, buf)
+	if err != nil {
+		return 0, wp.t.mapErr(wp.node, c, err)
+	}
+	return n, nil
+}
+
+func (wp wirePeer) Free(p *simtime.Proc, from *cluster.Node, handle int) error {
+	c, err := wp.t.client(wp.node)
+	if err != nil {
+		return err
+	}
+	if err := c.Free(handle); err != nil {
+		return wp.t.mapErr(wp.node, c, err)
+	}
+	return nil
+}
+
+func (wp wirePeer) FreeSpace(p *simtime.Proc, from *cluster.Node) (int, error) {
+	c, err := wp.t.client(wp.node)
+	if err != nil {
+		return 0, err
+	}
+	free, _, _, err := c.Stat()
+	if err != nil {
+		return 0, wp.t.mapErr(wp.node, c, err)
+	}
+	return free, nil
+}
+
+func (wp wirePeer) TaskAlive(p *simtime.Proc, from *cluster.Node, pid int64) (bool, error) {
+	c, err := wp.t.client(wp.node)
+	if err != nil {
+		return false, err
+	}
+	alive, err := c.Ping(uint64(pid))
+	if err != nil {
+		return false, wp.t.mapErr(wp.node, c, err)
+	}
+	return alive, nil
+}

@@ -336,7 +336,7 @@ func fakeV1Server(t *testing.T, pool *sponge.Pool) string {
 		t.Fatal(err)
 	}
 	t.Cleanup(func() { ln.Close() })
-	legacy := &Server{pool: pool, live: make(map[uint64]bool)}
+	legacy := &Server{pool: pool, live: newMapLiveness(), d: &daemon{}}
 	go func() {
 		for {
 			conn, err := ln.Accept()

@@ -5,6 +5,9 @@
 set -e
 cd "$(dirname "$0")/.."
 
+echo "== go build ./... =="
+go build ./...
+
 echo "== go vet ./... =="
 go vet ./...
 

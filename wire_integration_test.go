@@ -1,0 +1,235 @@
+package spongefiles_test
+
+// Integration of the simulated sponge service with the real TCP wire
+// transport: the allocator chain, tracker polling, and chunk reads all
+// cross live sockets against wire servers, including the failure path
+// where a server dies and its chunks surface ErrChunkLost after the
+// retry budget.
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"spongefiles/internal/cluster"
+	"spongefiles/internal/media"
+	"spongefiles/internal/simtime"
+	"spongefiles/internal/sponge"
+	"spongefiles/internal/sponge/wire"
+)
+
+// wireStack is a 4-node simulated service whose nodes 1..3 are backed
+// by real TCP sponge servers; node 0 (the task's node) stays on the
+// simulated fallback with a deliberately tiny local pool.
+type wireStack struct {
+	sim     *simtime.Sim
+	c       *cluster.Cluster
+	svc     *sponge.Service
+	pools   map[int]*sponge.Pool
+	servers map[int]*wire.Server
+	tr      *wire.Transport
+}
+
+func newWireStack(t *testing.T, chunksPerServer int) *wireStack {
+	t.Helper()
+	cfg := cluster.PaperConfig()
+	cfg.Workers = 4
+	cfg.SpongeMemory = 2 * media.MB // two local chunks, the rest spills remote
+	sim := simtime.New()
+	c := cluster.New(sim, cfg)
+	scfg := sponge.DefaultConfig()
+	scfg.LocalDiskEnabled = false // force the remote-memory path to carry the load
+	svc := sponge.Start(c, scfg)
+
+	s := &wireStack{
+		sim: sim, c: c, svc: svc,
+		pools:   make(map[int]*sponge.Pool),
+		servers: make(map[int]*wire.Server),
+	}
+	addrs := make(map[int]string)
+	for n := 1; n <= 3; n++ {
+		pool := sponge.NewPool(svc.ChunkReal(), chunksPerServer)
+		srv, err := wire.Serve(pool, "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { srv.Close() })
+		s.pools[n] = pool
+		s.servers[n] = srv
+		addrs[n] = srv.Addr()
+	}
+	s.tr = wire.NewTransport(addrs, svc.Transport())
+	t.Cleanup(func() { s.tr.Close() })
+	svc.SetTransport(s.tr)
+	return s
+}
+
+// TestWireTransportRoundTrip drives a SpongeFile create → write → read
+// → delete through three real TCP sponge servers and verifies the data
+// and the pools' bookkeeping end to end.
+func TestWireTransportRoundTrip(t *testing.T) {
+	s := newWireStack(t, 8)
+	chunk := s.svc.ChunkReal()
+	data := make([]byte, 18*chunk+chunk/2)
+	for i := range data {
+		data[i] = byte(i*13 + 5)
+	}
+
+	s.sim.Spawn("task", func(p *simtime.Proc) {
+		agent := s.svc.NewAgent(s.c.Nodes[0])
+		defer agent.Close()
+		f := agent.Create(p, "tcp-spill")
+		if err := f.Write(p, data); err != nil {
+			t.Errorf("write over wire: %v", err)
+			return
+		}
+		if err := f.Close(p); err != nil {
+			t.Errorf("close: %v", err)
+			return
+		}
+		st := f.Stats()
+		if st.ByKind[sponge.RemoteMem] == 0 {
+			t.Errorf("no chunks went remote: stats %+v", st)
+		}
+		got := make([]byte, 0, len(data))
+		buf := make([]byte, chunk)
+		for {
+			n, err := f.Read(p, buf)
+			if err != nil {
+				t.Errorf("read over wire: %v", err)
+				return
+			}
+			if n == 0 {
+				break
+			}
+			got = append(got, buf[:n]...)
+		}
+		if !bytes.Equal(got, data) {
+			t.Errorf("round trip corrupt: %d bytes back, want %d", len(got), len(data))
+		}
+		f.Delete(p)
+	})
+	s.sim.MustRun()
+
+	// After Delete every pool is whole again: the frees crossed the
+	// sockets too.
+	for n := 1; n <= 3; n++ {
+		if s.pools[n].Free() != s.pools[n].Chunks() {
+			t.Errorf("node %d pool not drained after delete: %d/%d free",
+				n, s.pools[n].Free(), s.pools[n].Chunks())
+		}
+	}
+}
+
+// TestWireTransportServerFailure kills one TCP server mid-read: its
+// chunks must surface ErrChunkLost only after the retry budget is
+// spent, while the tracker's next poll writes the dead server off.
+func TestWireTransportServerFailure(t *testing.T) {
+	s := newWireStack(t, 8)
+	chunk := s.svc.ChunkReal()
+	data := make([]byte, 18*chunk)
+	for i := range data {
+		data[i] = byte(i*7 + 3)
+	}
+
+	s.sim.Spawn("task", func(p *simtime.Proc) {
+		agent := s.svc.NewAgent(s.c.Nodes[0])
+		defer agent.Close()
+		f := agent.Create(p, "doomed")
+		if err := f.Write(p, data); err != nil {
+			t.Errorf("write over wire: %v", err)
+			return
+		}
+		if err := f.Close(p); err != nil {
+			t.Errorf("close: %v", err)
+			return
+		}
+
+		// Kill a server that actually holds chunks.
+		victim := 0
+		for n := 1; n <= 3; n++ {
+			if s.pools[n].Free() < s.pools[n].Chunks() {
+				victim = n
+			}
+		}
+		if victim == 0 {
+			t.Error("no server holds chunks; nothing to kill")
+			return
+		}
+		s.servers[victim].Close()
+
+		retriesBefore := f.Stats().Retries
+		buf := make([]byte, chunk)
+		var err error
+		for {
+			var n int
+			n, err = f.Read(p, buf)
+			if err != nil || n == 0 {
+				break
+			}
+		}
+		if !errors.Is(err, sponge.ErrChunkLost) {
+			t.Errorf("read after server death = %v, want ErrChunkLost", err)
+		}
+		if f.Stats().Retries <= retriesBefore {
+			t.Errorf("chunk declared lost without spending the retry budget (retries %d -> %d)",
+				retriesBefore, f.Stats().Retries)
+		}
+
+		// The tracker's next poll sees the dead server as unreachable and
+		// records zero free space for it.
+		p.Sleep(2 * s.svc.Config.PollInterval)
+		if s.svc.Tracker.PollDrops() == 0 {
+			t.Error("tracker never recorded the dead server's poll as dropped")
+		}
+	})
+	s.sim.MustRun()
+}
+
+// TestWireTransportLivenessAndGC registers tasks through a shared
+// liveness registry (NodeLiveness over the simulated server) and checks
+// that a TCP Ping agrees with the in-process view — the registry that
+// the garbage collector consults when deciding whether chunks are
+// orphaned.
+func TestWireTransportLivenessAndGC(t *testing.T) {
+	cfg := cluster.PaperConfig()
+	cfg.Workers = 2
+	cfg.SpongeMemory = 8 * media.MB
+	sim := simtime.New()
+	c := cluster.New(sim, cfg)
+	svc := sponge.Start(c, sponge.DefaultConfig())
+
+	// The TCP server on node 1 shares node 1's in-process registry.
+	pool := sponge.NewPool(svc.ChunkReal(), 8)
+	srv, err := wire.ServeOptions(pool, "127.0.0.1:0", wire.Options{
+		Liveness: wire.NodeLiveness{Srv: svc.Servers[1]},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	cl, err := wire.Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	agent := svc.NewAgent(c.Nodes[1])
+	pid := uint64(agent.Task().PID)
+	if alive, err := cl.Ping(pid); err != nil || !alive {
+		t.Fatalf("TCP ping for registered task = (%v, %v), want alive", alive, err)
+	}
+	agent.Close()
+	if alive, err := cl.Ping(pid); err != nil || alive {
+		t.Fatalf("TCP ping after agent close = (%v, %v), want dead", alive, err)
+	}
+	// And the other direction: registration over TCP is visible to the
+	// simulated server the GC sweep asks.
+	if err := cl.Register(777); err != nil {
+		t.Fatal(err)
+	}
+	if !svc.Servers[1].TaskAlive(777) {
+		t.Fatal("TCP-registered pid invisible to the in-process registry")
+	}
+}
