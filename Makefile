@@ -24,4 +24,10 @@ bench:
 bench-faults:
 	go run ./cmd/benchtab -out BENCH_faults.json faults
 
-.PHONY: tier1 tier2 bench-wire bench bench-faults
+# Readahead experiment: window depth vs injected per-exchange latency,
+# read-back throughput of a fully remote file over both transports;
+# regenerates BENCH_readahead.json.
+bench-readahead:
+	go run ./cmd/benchtab -out BENCH_readahead.json readahead
+
+.PHONY: tier1 tier2 bench-wire bench bench-faults bench-readahead

@@ -6,6 +6,7 @@
 //	benchtab [-size f] [-spills n] [tab1|tab2|fig1a|fig1b|fig4|fig5|fig6|grepvar|failtab|ablate|all]
 //	benchtab [-perfsize f] [-workers n] [-out file.json] perf
 //	benchtab [-out file.json] faults
+//	benchtab [-out file.json] readahead
 //
 // -size scales the macro datasets (1.0 = the paper's 10 GB inputs).
 //
@@ -17,6 +18,11 @@
 // The faults experiment sweeps transport drop rates over the simulated
 // and the real-TCP wire transports, recording spill placement, retries,
 // and timing (checked in as BENCH_faults.json). Also not part of "all".
+//
+// The readahead experiment sweeps the readahead window depth against
+// injected per-exchange latency over both transports, measuring
+// read-back throughput of a fully remote file (checked in as
+// BENCH_readahead.json). Also not part of "all".
 package main
 
 import (
@@ -46,6 +52,10 @@ func main() {
 	}
 	if which == "faults" {
 		faults(*perfOut)
+		return
+	}
+	if which == "readahead" {
+		readahead(*perfOut)
 		return
 	}
 	run := func(name string, fn func()) {
@@ -95,6 +105,21 @@ func faults(out string) {
 	fmt.Println(bench.FormatTable(bench.FaultsHeader, bench.FaultsRows(cells)))
 	if out != "" {
 		if err := os.WriteFile(out, bench.FaultsJSON(cfg, cells), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "write %s: %v\n", out, err)
+			os.Exit(1)
+		}
+		fmt.Printf("report written to %s\n", out)
+	}
+}
+
+func readahead(out string) {
+	cfg := bench.DefaultReadAhead()
+	fmt.Printf("== Readahead window: depth x injected exchange delay (%d workers, %d-chunk file, seed %d) ==\n",
+		cfg.Workers, cfg.FileChunks, cfg.Seed)
+	cells := bench.RunReadAhead(cfg)
+	fmt.Println(bench.FormatTable(bench.ReadAheadHeader, bench.ReadAheadRows(cells)))
+	if out != "" {
+		if err := os.WriteFile(out, bench.ReadAheadJSON(cfg, cells), 0o644); err != nil {
 			fmt.Fprintf(os.Stderr, "write %s: %v\n", out, err)
 			os.Exit(1)
 		}

@@ -7,7 +7,8 @@
 //	                  [-inflight 16] [-read-timeout 0] [-write-timeout 0]
 //	spongectl stat    -addr host:port
 //	spongectl demo    [-chunk 65536] [-chunks 64] [-conns 4]
-//	spongectl cluster [-nodes 3] [-chunks 32] [-mb 200] [-drop 0.1] ...
+//	spongectl cluster [-nodes 3] [-chunks 32] [-mb 200] [-drop 0.1]
+//	                  [-readahead 4] ...
 //
 // "serve" runs a sponge server until interrupted. "stat" prints a
 // server's pool state. "demo" starts an in-process server, spills
@@ -16,7 +17,9 @@
 // "cluster" launches one sponge-server child process per node,
 // installs the wire transport on a simulated service, and drives a
 // SpongeFile spill through the allocator chain so every remote chunk
-// crosses real process boundaries over real TCP.
+// crosses real process boundaries over real TCP; -readahead sets the
+// read-back window depth (up to that many chunk fetches multiplexed
+// over each pipelined connection at once).
 package main
 
 import (
@@ -127,6 +130,7 @@ func clusterMain(args []string) {
 	mb := fs.Int64("mb", 64, "virtual MB to spill through the cluster")
 	drop := fs.Float64("drop", 0, "fault-injected exchange drop rate")
 	seed := fs.Int64("seed", 1, "fault stream seed")
+	readahead := fs.Int("readahead", 0, "readahead window depth (0 = service default, 1 = seed-compatible single slot)")
 	opts := serveOptions(fs)
 	fs.Parse(args)
 
@@ -141,7 +145,9 @@ func clusterMain(args []string) {
 	// Local disk stays enabled as the escape hatch: under heavy -drop
 	// every remote candidate can end up blacklisted, and the demo should
 	// degrade the way the paper's allocator does, not fail.
-	svc := sponge.Start(c, sponge.DefaultConfig())
+	scfg := sponge.DefaultConfig()
+	scfg.ReadAheadDepth = *readahead
+	svc := sponge.Start(c, scfg)
 
 	exe, err := os.Executable()
 	if err != nil {

@@ -79,6 +79,11 @@ type MacroConfig struct {
 	// results are identical either way; only host-level allocation
 	// changes.
 	LegacyAlloc bool
+	// ReadAheadDepth overrides the sponge service's readahead window
+	// depth; 0 keeps the service default. Depth 1 reproduces the seed
+	// prefetcher bit for bit (the equivalence tests pin this against
+	// recorded seed results).
+	ReadAheadDepth int
 }
 
 // MacroResult is one macrobenchmark run's outcome.
@@ -152,6 +157,7 @@ func RunMacro(kind JobKind, mc MacroConfig) MacroResult {
 	eng := mapreduce.NewEngine(c, fs)
 	scfg := sponge.DefaultConfig()
 	scfg.DisableBufferRecycling = mc.LegacyAlloc
+	scfg.ReadAheadDepth = mc.ReadAheadDepth
 	scfg.RemoteDisabled = mc.RemoteDisabled
 	scfg.Remote = dfs.NewSpillStore(fs)
 	svc := sponge.Start(c, scfg)

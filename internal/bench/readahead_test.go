@@ -1,0 +1,49 @@
+package bench
+
+import "testing"
+
+// TestReadAheadSweepSmoke runs a miniature depth sweep over both
+// transports and checks the experiment's core claims: the measured file
+// is fully remote, and a deeper window beats depth 1 once the injected
+// per-exchange delay exceeds the path's serial floor. 5 ms clears the
+// wire path's ~1 ms/chunk reader-copy floor by a wide margin (the
+// acceptance bar is 1.5x at depth 4 there); the simulated path keeps its
+// ~8.4 ms/chunk NIC serialization either way, so it is only required to
+// improve, not to hit the bar.
+func TestReadAheadSweepSmoke(t *testing.T) {
+	cfg := ReadAheadConfig{
+		Workers:    3,
+		FileChunks: 8,
+		Depths:     []int{1, 4},
+		DelaysMs:   []int{5},
+		Seed:       1,
+	}
+	cells := RunReadAhead(cfg)
+	if len(cells) != 4 {
+		t.Fatalf("cells = %d, want 4 (2 transports x 1 delay x 2 depths)", len(cells))
+	}
+	byDepth := make(map[string]map[int]ReadAheadCell)
+	for _, c := range cells {
+		if c.RemoteMem != cfg.FileChunks {
+			t.Errorf("%s/depth%d: %d of %d chunks remote, want all",
+				c.Transport, c.Depth, c.RemoteMem, cfg.FileChunks)
+		}
+		if c.ThroughputMBs <= 0 {
+			t.Errorf("%s/depth%d: no throughput measured", c.Transport, c.Depth)
+		}
+		if byDepth[c.Transport] == nil {
+			byDepth[c.Transport] = make(map[int]ReadAheadCell)
+		}
+		byDepth[c.Transport][c.Depth] = c
+	}
+	for _, transport := range []string{"sim", "wire"} {
+		d1, d4 := byDepth[transport][1], byDepth[transport][4]
+		if d4.ReadVirtualMs >= d1.ReadVirtualMs {
+			t.Errorf("%s: depth 4 read %.2fms not faster than depth 1 %.2fms under 5ms delay",
+				transport, d4.ReadVirtualMs, d1.ReadVirtualMs)
+		}
+	}
+	if wire4 := byDepth["wire"][4]; wire4.Speedup < 1.5 {
+		t.Errorf("wire: depth-4 speedup %.2fx under 5ms delay, want >= 1.5x", wire4.Speedup)
+	}
+}

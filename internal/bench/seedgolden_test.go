@@ -1,0 +1,60 @@
+package bench
+
+import (
+	"testing"
+
+	"spongefiles/internal/media"
+)
+
+// seedGolden pins the seed prefetcher's simulated results for one
+// benchtab baseline cell, captured from commit 59499b2 (the last commit
+// with the single-slot prefetcher) before the readahead ring replaced
+// it. ReadAheadDepth 1 promises bit-identical behaviour to that
+// prefetcher, so every field must match exactly — not approximately.
+type seedGolden struct {
+	kind            JobKind
+	memGB           int64
+	runtime         int64
+	stragglerInput  int64
+	stragglerChunks int64
+	medianValue     float64 // 0 = not checked for this job kind
+}
+
+var seedGoldens = []seedGolden{
+	{Median, 4, 24753854554, 208034304, 199, 497005.355},
+	{Median, 16, 20386656936, 208034304, 199, 497005.355},
+	{Anchortext, 4, 15388658831, 54804736, 53, 0},
+	{Anchortext, 16, 15114658831, 54804736, 53, 0},
+	{SpamQuantiles, 4, 19569940017, 77451008, 74, 0},
+	{SpamQuantiles, 16, 16436487116, 77451008, 74, 0},
+}
+
+// TestReadAheadDepth1MatchesSeedPrefetcher verifies the compat contract
+// on ServiceConfig.ReadAheadDepth: depth 1 reproduces the seed's
+// single-slot prefetcher simulation-identically on all six benchtab
+// baseline cells (three jobs × two memory sizes). Any drift in virtual
+// runtime, straggler accounting, or job output means the windowed ring
+// changed scheduling at depth 1 and is a bug, not noise.
+func TestReadAheadDepth1MatchesSeedPrefetcher(t *testing.T) {
+	for _, g := range seedGoldens {
+		res := RunMacro(g.kind, MacroConfig{
+			NodeMemory:     g.memGB * media.GB,
+			Sponge:         true,
+			SizeFactor:     0.02,
+			Workers:        8,
+			ReadAheadDepth: 1,
+		})
+		if int64(res.Runtime) != g.runtime {
+			t.Errorf("%s/%dGB: runtime %d, seed golden %d", g.kind, g.memGB, int64(res.Runtime), g.runtime)
+		}
+		if res.StragglerInput != g.stragglerInput {
+			t.Errorf("%s/%dGB: straggler input %d, seed golden %d", g.kind, g.memGB, res.StragglerInput, g.stragglerInput)
+		}
+		if res.StragglerChunks != g.stragglerChunks {
+			t.Errorf("%s/%dGB: straggler chunks %d, seed golden %d", g.kind, g.memGB, res.StragglerChunks, g.stragglerChunks)
+		}
+		if g.medianValue != 0 && res.MedianValue != g.medianValue {
+			t.Errorf("%s/%dGB: median %v, seed golden %v", g.kind, g.memGB, res.MedianValue, g.medianValue)
+		}
+	}
+}

@@ -5,11 +5,12 @@ package simtime
 // models contended devices (a disk arm, a NIC) and bounded pools (task
 // slots).
 type Resource struct {
-	sim     *Sim
-	name    string
-	cap     int
-	inUse   int
-	waiters []*Proc
+	sim      *Sim
+	name     string
+	parkName string // "resource <name>", precomputed: park happens per wait
+	cap      int
+	inUse    int
+	waiters  []*Proc
 	// Busy time accounting for utilization reports.
 	busySince  Time
 	busyTotal  Duration
@@ -21,7 +22,7 @@ func NewResource(sim *Sim, name string, capacity int) *Resource {
 	if capacity < 1 {
 		panic("simtime: resource capacity must be >= 1")
 	}
-	return &Resource{sim: sim, name: name, cap: capacity}
+	return &Resource{sim: sim, name: name, parkName: "resource " + name, cap: capacity}
 }
 
 // Acquire blocks p until a unit of the resource is available, then holds it.
@@ -31,7 +32,7 @@ func (r *Resource) Acquire(p *Proc) {
 		return
 	}
 	r.waiters = append(r.waiters, p)
-	p.park("resource " + r.name)
+	p.park(r.parkName)
 	// Ownership was transferred by Release before unparking; the unit is
 	// already accounted to us.
 }
@@ -104,26 +105,35 @@ func (r *Resource) Holds() int64 { return r.totalHolds }
 // woken by Broadcast. There is no associated predicate; callers re-check
 // their condition after waking, as with sync.Cond.
 type Signal struct {
-	name    string
-	waiters []*Proc
+	name     string
+	parkName string // "signal <name>", precomputed: park happens per wait
+	waiters  []*Proc
 }
 
 // NewSignal creates a named signal; the name appears in deadlock reports.
-func NewSignal(name string) *Signal { return &Signal{name: name} }
+func NewSignal(name string) *Signal {
+	return &Signal{name: name, parkName: "signal " + name}
+}
 
 // Wait parks p until the next Broadcast.
 func (s *Signal) Wait(p *Proc) {
 	s.waiters = append(s.waiters, p)
-	p.park("signal " + s.name)
+	p.park(s.parkName)
 }
 
-// Broadcast wakes every waiting process at the current time.
+// Broadcast wakes every waiting process at the current time. The waiter
+// slice keeps its capacity: unpark only schedules the process (nothing
+// re-enters Wait during the loop), so clearing in place is safe and the
+// next Wait after a wake does not reallocate — hot wait/broadcast pairs
+// (the readahead window's delivery signal) stay allocation-free.
 func (s *Signal) Broadcast() {
-	ws := s.waiters
-	s.waiters = nil
-	for _, w := range ws {
+	for _, w := range s.waiters {
 		w.unpark()
 	}
+	for i := range s.waiters {
+		s.waiters[i] = nil
+	}
+	s.waiters = s.waiters[:0]
 }
 
 // Waiting reports the number of parked processes.
@@ -132,13 +142,16 @@ func (s *Signal) Waiting() int { return len(s.waiters) }
 // Queue is an unbounded FIFO of values with blocking receive, the
 // simulated analogue of a channel.
 type Queue struct {
-	name    string
-	items   []interface{}
-	waiters []*Proc
+	name     string
+	parkName string // "queue <name>", precomputed: park happens per wait
+	items    []interface{}
+	waiters  []*Proc
 }
 
 // NewQueue creates a named queue; the name appears in deadlock reports.
-func NewQueue(name string) *Queue { return &Queue{name: name} }
+func NewQueue(name string) *Queue {
+	return &Queue{name: name, parkName: "queue " + name}
+}
 
 // Put appends v and wakes one waiting receiver, if any.
 func (q *Queue) Put(v interface{}) {
@@ -155,7 +168,7 @@ func (q *Queue) Put(v interface{}) {
 func (q *Queue) Get(p *Proc) interface{} {
 	for len(q.items) == 0 {
 		q.waiters = append(q.waiters, p)
-		p.park("queue " + q.name)
+		p.park(q.parkName)
 	}
 	v := q.items[0]
 	copy(q.items, q.items[1:])

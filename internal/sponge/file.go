@@ -38,8 +38,9 @@ type chunkRef struct {
 // sponge memory, remote sponge memory, local disk, then the distributed
 // filesystem. It has a single writer and then a single reader, is
 // accessed strictly sequentially, and is deleted after use; chunk writes
-// to non-local media are asynchronous and reads prefetch the next
-// non-local chunk (§3.1.2).
+// to non-local media are asynchronous and reads prefetch upcoming
+// non-local chunks through a window of up to ReadAheadDepth concurrent
+// fetches (§3.1.2, widened).
 type File struct {
 	agent *Agent
 	name  string
@@ -79,15 +80,26 @@ type File struct {
 	cur       []byte // fetched contents of the current non-local chunk
 	curChunk  int
 
-	prefetchChunk int // chunk being prefetched, -1 if none
-	prefetchBuf   []byte
-	prefetchDone  *simtime.Signal
-	prefetchErr   error
-	// prefetchGen counts prefetch epochs. Every event that invalidates an
-	// in-flight prefetch (a new prefetch, Rewind, Delete) bumps it; a
-	// prefetcher only delivers if the generation it was spawned under is
-	// still current, so an abandoned fetch can never feed a *restarted*
-	// prefetch of the same chunk index or leak its recycled buffer.
+	// Readahead ring (§3.1.2, widened): up to ReadAheadDepth chunk
+	// fetches in flight at once, one slot each. Slots are keyed by chunk
+	// index and the reader consumes chunks in order, so delivery to the
+	// reader is strictly sequential no matter in which order the fetches
+	// complete (retries inside one window member only delay that slot).
+	// raNext is the next chunk index the window scan will consider; it
+	// is monotonic within a read pass and reset by Rewind. raFree is a
+	// free list of fetcher tasks so a steady-state windowed read spawns
+	// without allocating.
+	ra           []raSlot
+	raNext       int
+	raInFlight   int
+	raFree       *raFetch
+	prefetchDone *simtime.Signal
+	// prefetchGen counts prefetch epochs. Every event that invalidates
+	// the in-flight window (Rewind, Delete) bumps it; a fetcher only
+	// delivers if the generation it was spawned under is still current,
+	// so each orphaned fetch drops its result and recycles its buffer
+	// exactly once — it can never feed a *post-rewind* refetch of the
+	// same chunk index.
 	prefetchGen uint64
 
 	// writerName and prefetchName are the diagnostic names given to the
@@ -97,23 +109,71 @@ type File struct {
 	prefetchName string
 }
 
+// raSlot is one member of the readahead window: the chunk it owns and,
+// once the fetch lands, the payload or error awaiting the reader.
+type raSlot struct {
+	chunk int // chunk index this slot is fetching; -1 = free
+	done  bool
+	buf   []byte
+	err   error
+}
+
+// raFetch is the argument block for one spawned window fetcher. The run
+// closure is bound once per task and the task recycles through the
+// file's free list, so repeated spawns allocate nothing.
+type raFetch struct {
+	f     *File
+	slot  int
+	chunk int
+	gen   uint64
+	next  *raFetch
+	run   func(*simtime.Proc)
+}
+
+func (rf *raFetch) fetch(p *simtime.Proc) {
+	f := rf.f
+	buf, err := f.fetchChunk(p, rf.chunk)
+	stale := f.prefetchGen != rf.gen
+	slot := rf.slot
+	rf.next = f.raFree
+	f.raFree = rf
+	f.raInFlight--
+	if stale {
+		// The reader rewound (or deleted the file) while this fetch was
+		// in flight; dropPrefetch already cleared the slots. Drop the
+		// result and recycle the buffer — exactly once, here. The
+		// broadcast still fires: Delete may be waiting out the window.
+		if buf != nil {
+			f.agent.svc.putBuf(buf)
+		}
+		f.prefetchDone.Broadcast()
+		return
+	}
+	s := &f.ra[slot]
+	s.buf, s.err, s.done = buf, err, true
+	f.prefetchDone.Broadcast()
+}
+
 // Create makes an empty SpongeFile owned by the agent's task. Creation
 // queries the memory tracker for the current free list (§3.1.1).
 func (a *Agent) Create(p *simtime.Proc, name string) *File {
 	f := &File{
-		agent:         a,
-		name:          name,
-		buf:           a.svc.getBuf(),
-		writersDone:   simtime.NewSignal(name + ".writers"),
-		prefetchDone:  simtime.NewSignal(name + ".prefetch"),
-		prefetchChunk: -1,
-		curChunk:      -1,
-		writerName:    name + ".w",
-		prefetchName:  name + ".pf",
+		agent:        a,
+		name:         name,
+		buf:          a.svc.getBuf(),
+		writersDone:  simtime.NewSignal(name + ".writers"),
+		prefetchDone: simtime.NewSignal(name + ".prefetch"),
+		curChunk:     -1,
+		writerName:   name + ".w",
+		prefetchName: name + ".pf",
 	}
 	depth := a.svc.Config.AsyncWriteDepth
 	if depth > 0 {
 		f.asyncSlots = simtime.NewResource(a.svc.Cluster.Sim, name+".async", depth)
+	}
+	f.ra = make([]raSlot, a.svc.Config.ReadAheadDepth)
+	for i := range f.ra {
+		f.ra[i].chunk = -1
 	}
 	f.candidates = a.svc.Tracker.Query(p, a.node)
 	f.deadNodes = make(map[int]bool)
@@ -399,20 +459,19 @@ func (f *File) releaseCur() {
 }
 
 // ensureChunk makes chunk i's bytes available in f.cur, using the
-// prefetched copy when the prefetcher already fetched it, and kicks off a
-// prefetch of the next non-local chunk.
+// window's copy when a fetcher already owns the chunk, and refills the
+// readahead window.
 func (f *File) ensureChunk(p *simtime.Proc, i int) error {
 	f.releaseCur()
-	// Wait for a prefetch of this very chunk, if one is in flight.
-	if f.prefetchChunk == i {
-		for f.prefetchBuf == nil && f.prefetchErr == nil {
+	if s := f.raLookup(i); s != nil {
+		// A window member owns this chunk; wait for its delivery. Other
+		// slots broadcasting wake the reader spuriously — re-check, as
+		// with any condition wait.
+		for !s.done {
 			f.prefetchDone.Wait(p)
 		}
-		err := f.prefetchErr
-		buf := f.prefetchBuf
-		f.prefetchChunk = -1
-		f.prefetchBuf = nil
-		f.prefetchErr = nil
+		buf, err := s.buf, s.err
+		s.chunk, s.buf, s.err, s.done = -1, nil, nil, false
 		if err != nil {
 			return err
 		}
@@ -426,43 +485,84 @@ func (f *File) ensureChunk(p *simtime.Proc, i int) error {
 		f.cur = buf
 		f.curChunk = i
 	}
-	f.maybePrefetch(p, i+1)
+	f.fillWindow(p, i+1)
 	return nil
 }
 
-// maybePrefetch starts an asynchronous fetch of chunk i when prefetching
-// is enabled and the chunk is non-local (§3.1.2).
-func (f *File) maybePrefetch(p *simtime.Proc, i int) {
-	if !f.agent.svc.Config.Prefetch || i >= len(f.chunks) || f.prefetchChunk != -1 {
+// raLookup returns the window slot owning chunk i, or nil.
+func (f *File) raLookup(i int) *raSlot {
+	for k := range f.ra {
+		if f.ra[k].chunk == i {
+			return &f.ra[k]
+		}
+	}
+	return nil
+}
+
+// fillWindow tops the readahead window up to ReadAheadDepth in-flight
+// fetches of upcoming non-local chunks (§3.1.2, widened). At depth 1 it
+// reproduces the seed's single-slot prefetcher exactly: only the chunk
+// right after the one being consumed is considered, and a LocalMem or
+// RemoteFS chunk there stops the lookahead — the bit-identical compat
+// baseline that ReadAheadDepth documents. At depth >= 2 the scan looks
+// past non-prefetchable kinds (LocalMem needs no fetch; RemoteFS shares
+// one sequential cursor with the foreground reader and is fetched in
+// line) to the next remote-memory or disk chunk instead of giving up.
+func (f *File) fillWindow(p *simtime.Proc, from int) {
+	if !f.agent.svc.Config.Prefetch {
 		return
 	}
-	// Local chunks need no prefetch; remote-FS chunks share one
-	// sequential cursor with the foreground reader and are fetched
-	// in line.
-	if k := f.chunks[i].kind; k == LocalMem || k == RemoteFS {
-		return
+	if f.raNext < from {
+		f.raNext = from
 	}
-	f.prefetchChunk = i
-	f.prefetchGen++
-	gen := f.prefetchGen
-	sim := p.Sim()
-	sim.Spawn(f.prefetchName, func(wp *simtime.Proc) {
-		buf, err := f.fetchChunk(wp, i)
-		if f.prefetchGen != gen {
-			// The reader rewound (or deleted the file) while this fetch
-			// was in flight. Matching on the chunk index alone is not
-			// enough: a post-rewind prefetch of the same index would
-			// accept this fetch's bytes and then double-deliver when its
-			// own fetch lands. Drop the result and recycle the buffer.
-			if buf != nil {
-				f.agent.svc.putBuf(buf)
-			}
+	if len(f.ra) == 1 {
+		s := &f.ra[0]
+		if s.chunk != -1 || from >= len(f.chunks) {
 			return
 		}
-		f.prefetchBuf = buf
-		f.prefetchErr = err
-		f.prefetchDone.Broadcast()
-	})
+		if k := f.chunks[from].kind; k == LocalMem || k == RemoteFS {
+			return
+		}
+		f.startFetch(p, 0, from)
+		return
+	}
+	inFlight := 0
+	for k := range f.ra {
+		if f.ra[k].chunk != -1 {
+			inFlight++
+		}
+	}
+	for inFlight < len(f.ra) && f.raNext < len(f.chunks) {
+		i := f.raNext
+		f.raNext++
+		if k := f.chunks[i].kind; k == LocalMem || k == RemoteFS {
+			continue
+		}
+		for k := range f.ra {
+			if f.ra[k].chunk == -1 {
+				f.startFetch(p, k, i)
+				break
+			}
+		}
+		inFlight++
+	}
+}
+
+// startFetch arms a window slot and spawns its fetcher under the current
+// prefetch generation.
+func (f *File) startFetch(p *simtime.Proc, slot, chunk int) {
+	s := &f.ra[slot]
+	s.chunk, s.done, s.buf, s.err = chunk, false, nil, nil
+	rf := f.raFree
+	if rf == nil {
+		rf = &raFetch{f: f}
+		rf.run = rf.fetch
+	} else {
+		f.raFree = rf.next
+	}
+	rf.slot, rf.chunk, rf.gen = slot, chunk, f.prefetchGen
+	f.raInFlight++
+	p.Sim().Spawn(f.prefetchName, rf.run)
 }
 
 // fetchChunk brings one chunk's bytes to the reading node, charging the
@@ -565,9 +665,9 @@ func (f *File) firstRemoteFSChunk() int {
 
 // Rewind resets the read cursor to the start of the file, for consumers
 // (such as Pig's multi-pass UDFs) that scan a spill more than once.
-// Bumping the prefetch generation orphans any in-flight prefetch: its
-// eventual result is dropped instead of being mistaken for a post-rewind
-// prefetch of the same chunk index.
+// Bumping the prefetch generation orphans every in-flight window fetch:
+// each eventual result is dropped instead of being mistaken for a
+// post-rewind refetch of the same chunk index.
 func (f *File) Rewind() {
 	f.readChunk = 0
 	f.readOff = 0
@@ -575,14 +675,20 @@ func (f *File) Rewind() {
 	f.dropPrefetch()
 }
 
-// dropPrefetch abandons any delivered or in-flight prefetch state.
+// dropPrefetch abandons the whole readahead window. Slots whose fetch
+// already delivered recycle their buffers here; fetches still in flight
+// are orphaned by the generation bump and recycle their own buffers on
+// landing — so with K fetches outstanding, all K results are dropped and
+// recycled exactly once between the two paths.
 func (f *File) dropPrefetch() {
-	if f.prefetchBuf != nil {
-		f.agent.svc.putBuf(f.prefetchBuf)
+	for k := range f.ra {
+		s := &f.ra[k]
+		if s.buf != nil {
+			f.agent.svc.putBuf(s.buf)
+		}
+		s.chunk, s.buf, s.err, s.done = -1, nil, nil, false
 	}
-	f.prefetchChunk = -1
-	f.prefetchBuf = nil
-	f.prefetchErr = nil
+	f.raNext = 0
 	f.prefetchGen++
 }
 
@@ -593,6 +699,14 @@ func (f *File) Delete(p *simtime.Proc) {
 	}
 	for f.outstanding > 0 {
 		f.writersDone.Wait(p)
+	}
+	// Orphan the readahead window first and wait for its in-flight
+	// fetches to land: a fetcher mid-exchange still references the chunk
+	// table and pool handles this method is about to free. Orphans drop
+	// their results, so nothing is delivered past this point.
+	f.dropPrefetch()
+	for f.raInFlight > 0 {
+		f.prefetchDone.Wait(p)
 	}
 	pool := f.agent.svc.Servers[f.agent.node.ID].Pool()
 	for i := range f.chunks {
@@ -625,7 +739,6 @@ func (f *File) Delete(p *simtime.Proc) {
 		f.buf = nil
 	}
 	f.releaseCur()
-	f.dropPrefetch()
 	f.chunks = nil
 	f.deleted = true
 	f.closed = true

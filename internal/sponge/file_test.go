@@ -650,6 +650,211 @@ func TestFileWriteSteadyStateAllocationFree(t *testing.T) {
 	r.sim.MustRun()
 }
 
+// TestRewindMidWindow rewinds with a full readahead window in flight:
+// with depth K, K fetches are mid-network when the cursor resets. Every
+// orphaned result must be dropped and its buffer recycled exactly once —
+// double delivery would corrupt the second pass, a missed recycle shows
+// up as a non-zero buffer-pool balance.
+func TestRewindMidWindow(t *testing.T) {
+	r := newRig(t, 3, 2, nil) // 2 local chunks; chunks 2..5 spill remote
+	data := pattern(8*r.svc.ChunkReal(), 17)
+	r.sim.Spawn("t", func(p *simtime.Proc) {
+		agent := r.svc.NewAgent(r.c.Nodes[0])
+		defer agent.Close()
+		f := agent.Create(p, "midwindow")
+		if err := f.Write(p, data); err != nil {
+			t.Errorf("write: %v", err)
+		}
+		if err := f.Close(p); err != nil {
+			t.Errorf("close: %v", err)
+		}
+		// One byte into chunk 0 fills the whole window: the scan skips the
+		// local chunks and launches a fetch for each remote one, so all
+		// ReadAheadDepth fetches are crossing the network right now.
+		one := make([]byte, 1)
+		if n, err := f.Read(p, one); n != 1 || err != nil {
+			t.Errorf("first read: n=%d err=%v", n, err)
+		}
+		f.Rewind()
+		// Full pass after the rewind: the re-reads race the orphaned
+		// fetches for the same chunk indices.
+		got := make([]byte, 0, len(data))
+		buf := make([]byte, 4096)
+		for {
+			n, err := f.Read(p, buf)
+			if err != nil {
+				t.Errorf("read: %v", err)
+				return
+			}
+			if n == 0 {
+				break
+			}
+			got = append(got, buf[:n]...)
+		}
+		if !bytes.Equal(got, data) {
+			t.Error("post-rewind pass corrupt")
+		}
+		p.Sleep(5 * simtime.Second) // let every orphan land before Delete
+		f.Delete(p)
+	})
+	r.sim.MustRun()
+	if out := r.svc.BufPoolStats().Outstanding(); out != 0 {
+		t.Fatalf("chunk buffers leaked: outstanding = %d", out)
+	}
+	if free := r.svc.TotalFreeChunks(); free != 6 {
+		t.Fatalf("pool chunks leaked: free = %d of 6", free)
+	}
+}
+
+// TestDeleteMidWindow deletes the file while the window is full. Delete
+// must wait out the in-flight fetches before freeing pool chunks — a
+// fetcher mid-exchange still dereferences the chunk table — and every
+// orphaned result must be recycled.
+func TestDeleteMidWindow(t *testing.T) {
+	r := newRig(t, 3, 2, nil)
+	data := pattern(8*r.svc.ChunkReal(), 19)
+	r.sim.Spawn("t", func(p *simtime.Proc) {
+		agent := r.svc.NewAgent(r.c.Nodes[0])
+		defer agent.Close()
+		f := agent.Create(p, "delwindow")
+		if err := f.Write(p, data); err != nil {
+			t.Errorf("write: %v", err)
+		}
+		if err := f.Close(p); err != nil {
+			t.Errorf("close: %v", err)
+		}
+		one := make([]byte, 1)
+		if n, err := f.Read(p, one); n != 1 || err != nil {
+			t.Errorf("read: n=%d err=%v", n, err)
+		}
+		// The window is full of in-flight fetches; delete out from under it.
+		f.Delete(p)
+	})
+	r.sim.MustRun()
+	if out := r.svc.BufPoolStats().Outstanding(); out != 0 {
+		t.Fatalf("chunk buffers leaked: outstanding = %d", out)
+	}
+	if free := r.svc.TotalFreeChunks(); free != 6 {
+		t.Fatalf("pool chunks leaked: free = %d of 6", free)
+	}
+}
+
+// TestWindowRetriesKeepOrder runs a windowed read over a lossy transport:
+// dropped fetches are retried inside their window slot, delaying only
+// that slot, and the reader still sees every byte in order.
+func TestWindowRetriesKeepOrder(t *testing.T) {
+	r := newRig(t, 3, 2, func(c *ServiceConfig) {
+		c.RetryLimit = 10
+		c.RetryBackoff = 5 * simtime.Millisecond
+	})
+	r.svc.SetTransport(NewFaultTransport(r.svc.Transport(), FaultConfig{
+		Seed:     7,
+		DropRate: 0.3,
+		Timeout:  10 * simtime.Millisecond,
+	}))
+	data := pattern(8*r.svc.ChunkReal(), 23)
+	var retries int
+	r.sim.Spawn("t", func(p *simtime.Proc) {
+		agent := r.svc.NewAgent(r.c.Nodes[0])
+		defer agent.Close()
+		f := agent.Create(p, "lossy")
+		if err := f.Write(p, data); err != nil {
+			t.Errorf("write: %v", err)
+		}
+		if err := f.Close(p); err != nil {
+			t.Errorf("close: %v", err)
+		}
+		got := make([]byte, 0, len(data))
+		buf := make([]byte, 4096)
+		for {
+			n, err := f.Read(p, buf)
+			if err != nil {
+				t.Errorf("read: %v", err)
+				return
+			}
+			if n == 0 {
+				break
+			}
+			got = append(got, buf[:n]...)
+		}
+		if !bytes.Equal(got, data) {
+			t.Error("lossy windowed read reordered or corrupted bytes")
+		}
+		retries = f.Stats().Retries
+		f.Delete(p)
+	})
+	r.sim.MustRun()
+	if retries == 0 {
+		t.Error("expected the lossy transport to force at least one retry")
+	}
+	if out := r.svc.BufPoolStats().Outstanding(); out != 0 {
+		t.Fatalf("chunk buffers leaked: outstanding = %d", out)
+	}
+}
+
+// TestFileReadSteadyStateAllocationFree guards the windowed read hot
+// path: with the window warm — fetcher blocks on the free list, chunk
+// buffers recycling through the pool, processes reused by the simulator —
+// consuming a remote chunk must not allocate at all.
+func TestFileReadSteadyStateAllocationFree(t *testing.T) {
+	r := newRig(t, 2, 512, nil)
+	r.sim.Spawn("t", func(p *simtime.Proc) {
+		agent := r.svc.NewAgent(r.c.Nodes[0])
+		defer agent.Close()
+		chunk := r.svc.ChunkReal()
+		// A decoy file pins the whole local pool so every chunk of the
+		// measured file spills to node 1's remote memory — the path the
+		// window actually exercises.
+		decoy := agent.Create(p, "decoy")
+		if err := decoy.Write(p, pattern(512*chunk, 29)); err != nil {
+			t.Errorf("decoy write: %v", err)
+			return
+		}
+		if err := decoy.Close(p); err != nil {
+			t.Errorf("decoy close: %v", err)
+			return
+		}
+		f := agent.Create(p, "steady")
+		if err := f.Write(p, pattern(460*chunk, 31)); err != nil {
+			t.Errorf("write: %v", err)
+			return
+		}
+		if err := f.Close(p); err != nil {
+			t.Errorf("close: %v", err)
+			return
+		}
+		if remote := f.Stats().ByKind[RemoteMem]; remote != 460 {
+			t.Errorf("expected all 460 chunks remote, got %d", remote)
+			return
+		}
+		buf := make([]byte, chunk)
+		readChunk := func() {
+			for off := 0; off < chunk; {
+				n, err := f.Read(p, buf[off:])
+				if err != nil || n == 0 {
+					t.Errorf("read: n=%d err=%v", n, err)
+					return
+				}
+				off += n
+			}
+		}
+		// Warm past every amortized growth point: window slots, fetcher
+		// free list, buffer pool, process pool, event heap, signal queues.
+		for i := 0; i < 300; i++ {
+			readChunk()
+		}
+		if avg := testing.AllocsPerRun(100, readChunk); avg != 0 {
+			t.Errorf("steady-state windowed Read allocates %.2f objects per chunk, want 0", avg)
+		}
+		f.Delete(p)
+		decoy.Delete(p)
+	})
+	r.sim.MustRun()
+	if out := r.svc.BufPoolStats().Outstanding(); out != 0 {
+		t.Fatalf("chunk buffers leaked: outstanding = %d", out)
+	}
+}
+
 func TestPrefetchOverlapsRemoteReads(t *testing.T) {
 	measure := func(prefetch bool) simtime.Duration {
 		r := newRig(t, 3, 2, func(c *ServiceConfig) { c.Prefetch = prefetch })

@@ -19,11 +19,29 @@ type ServiceConfig struct {
 	// orphaned chunks.
 	PollInterval simtime.Duration
 	GCInterval   simtime.Duration
+	// AsyncWriteDepth and ReadAheadDepth are the two halves of the file
+	// pipeline; a SpongeFile is written once and then read once, so the
+	// windows never overlap and are tuned independently.
+	//
 	// AsyncWriteDepth bounds outstanding asynchronous chunk writes per
-	// file (double buffering); 0 disables async writes entirely.
+	// file — the write-side window (§3.1.2's double buffering is depth
+	// 2). 0 disables async writes entirely: every spill is synchronous.
 	AsyncWriteDepth int
-	// Prefetch enables read-ahead of the next non-local chunk.
+	// Prefetch enables read-ahead of upcoming non-local chunks; the
+	// window's depth is ReadAheadDepth.
 	Prefetch bool
+	// ReadAheadDepth bounds outstanding prefetch fetches per file — the
+	// read-side window. Up to N chunk fetches cross the transport
+	// concurrently (over the pipelined wire client they multiplex on one
+	// cached connection per peer via request IDs), each filling one
+	// recycled chunk buffer, and deliver strictly in order to the
+	// sequential reader. 0 means the default (4); values below 1 are
+	// clamped to 1. Depth 1 reproduces the seed's single-slot prefetcher
+	// bit for bit — including its quirk of considering only the very next
+	// chunk — and is the compat baseline the equivalence tests pin; depth
+	// >= 2 additionally looks past non-prefetchable chunk kinds
+	// (LocalMem/RemoteFS) instead of stalling the window behind them.
+	ReadAheadDepth int
 	// Affinity prefers remote servers the task already stores chunks on,
 	// shrinking its failure surface (§3.1.1).
 	Affinity bool
@@ -66,6 +84,7 @@ func DefaultConfig() ServiceConfig {
 		GCInterval:       30 * simtime.Second,
 		AsyncWriteDepth:  2,
 		Prefetch:         true,
+		ReadAheadDepth:   4,
 		Affinity:         true,
 		RackLocalOnly:    true,
 		LocalDiskEnabled: true,
@@ -89,6 +108,11 @@ type Service struct {
 	// calls peer Servers directly and charges virtual time; SetTransport
 	// swaps in the wire adapter (real TCP) or a fault-injecting wrapper.
 	transport Transport
+	// peers caches one Peer handle per node so the per-chunk paths (the
+	// readahead window above all) do not re-box a handle per exchange;
+	// Peer handles are stateless by contract, so caching is safe. Reset
+	// by SetTransport.
+	peers []Peer
 
 	// bufs recycles chunk payload buffers across every file of the
 	// service (staging, async hand-off, fetch, prefetch).
@@ -126,6 +150,11 @@ func Start(c *cluster.Cluster, cfg ServiceConfig) *Service {
 	if cfg.RetryBackoff <= 0 {
 		cfg.RetryBackoff = 20 * simtime.Millisecond
 	}
+	if cfg.ReadAheadDepth == 0 {
+		cfg.ReadAheadDepth = 4
+	} else if cfg.ReadAheadDepth < 1 {
+		cfg.ReadAheadDepth = 1
+	}
 	s := &Service{
 		Cluster:   c,
 		Config:    cfg,
@@ -133,6 +162,7 @@ func Start(c *cluster.Cluster, cfg ServiceConfig) *Service {
 		dead:      make([]bool, len(c.Nodes)),
 	}
 	s.transport = simTransport{s}
+	s.peers = make([]Peer, len(c.Nodes))
 	s.bufs = newBufPool(s.chunkReal, !cfg.DisableBufferRecycling)
 	chunksPerNode := int(c.Cfg.SpongeMemory / cfg.ChunkVirtual)
 	for _, n := range c.Nodes {
@@ -172,10 +202,19 @@ func (s *Service) SetTransport(t Transport) {
 		t = simTransport{s}
 	}
 	s.transport = t
+	s.peers = make([]Peer, len(s.Cluster.Nodes))
 }
 
-// peer returns the transport's handle on a node's sponge server.
-func (s *Service) peer(node int) Peer { return s.transport.Peer(node) }
+// peer returns the transport's handle on a node's sponge server, cached
+// per node for the life of the installed transport.
+func (s *Service) peer(node int) Peer {
+	if p := s.peers[node]; p != nil {
+		return p
+	}
+	p := s.transport.Peer(node)
+	s.peers[node] = p
+	return p
+}
 
 // ChunkReal returns the real payload bytes per chunk.
 func (s *Service) ChunkReal() int { return s.chunkReal }

@@ -16,8 +16,15 @@ go test -race -count=1 ./internal/sponge/... ./internal/spill/...
 
 echo "== allocation-regression guards =="
 # The hot-path guards must hold: O(1) pool alloc/free and steady-state
-# File.Write at zero allocations, plus the >=30% macro allocs/op cut.
+# File.Write and windowed File.Read at zero allocations, plus the >=30%
+# macro allocs/op cut.
 go test -count=1 -run 'AllocationFree|TestMacroAllocRegressionGuard' \
 	./internal/sponge ./internal/simtime ./internal/bench
+
+echo "== readahead sweep smoke + depth-1 seed equivalence =="
+# One tiny depth-sweep iteration over both transports, and the pinned
+# bit-exact check that ReadAheadDepth=1 reproduces the seed prefetcher.
+go test -count=1 -run 'TestReadAheadSweepSmoke|TestReadAheadDepth1MatchesSeedPrefetcher' \
+	./internal/bench
 
 echo "tier2 OK"

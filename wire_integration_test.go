@@ -119,6 +119,11 @@ func TestWireTransportRoundTrip(t *testing.T) {
 				n, s.pools[n].Free(), s.pools[n].Chunks())
 		}
 	}
+	// And every chunk buffer the windowed read checked out over the wire
+	// came back to the service pool.
+	if out := s.svc.BufPoolStats().Outstanding(); out != 0 {
+		t.Errorf("chunk buffers leaked across the wire path: outstanding = %d", out)
+	}
 }
 
 // TestWireTransportServerFailure kills one TCP server mid-read: its
@@ -182,8 +187,15 @@ func TestWireTransportServerFailure(t *testing.T) {
 		if s.svc.Tracker.PollDrops() == 0 {
 			t.Error("tracker never recorded the dead server's poll as dropped")
 		}
+		// Delete with the dead server still down: its frees are lost (the
+		// GC would reclaim them in a full deployment), but every locally
+		// checked-out chunk buffer must still return to the pool.
+		f.Delete(p)
 	})
 	s.sim.MustRun()
+	if out := s.svc.BufPoolStats().Outstanding(); out != 0 {
+		t.Errorf("chunk buffers leaked on the failure path: outstanding = %d", out)
+	}
 }
 
 // TestWireTransportLivenessAndGC registers tasks through a shared
