@@ -7,6 +7,12 @@ tier1:
 tier2:
 	./scripts/check.sh
 
+# Observability smoke: boot a 3-node TCP cluster of sponge daemons,
+# scrape each over OpMetrics and the HTTP /metrics sidecar, and check
+# known counters appear in the expositions and the stats table.
+stats-smoke:
+	./scripts/stats_smoke.sh
+
 # Wire protocol benchmarks: lock-step vs pipelined at 1, 4 and 16
 # concurrent requests (see BENCH_wire.json for recorded results).
 bench-wire:
@@ -30,4 +36,4 @@ bench-faults:
 bench-readahead:
 	go run ./cmd/benchtab -out BENCH_readahead.json readahead
 
-.PHONY: tier1 tier2 bench-wire bench bench-faults bench-readahead
+.PHONY: tier1 tier2 stats-smoke bench-wire bench bench-faults bench-readahead

@@ -5,10 +5,15 @@
 //
 //	benchtab [-size f] [-spills n] [tab1|tab2|fig1a|fig1b|fig4|fig5|fig6|grepvar|failtab|ablate|all]
 //	benchtab [-perfsize f] [-workers n] [-out file.json] perf
-//	benchtab [-out file.json] faults
-//	benchtab [-out file.json] readahead
+//	benchtab [-out file.json] [-stats file.json] faults
+//	benchtab [-out file.json] [-stats file.json] readahead
 //
 // -size scales the macro datasets (1.0 = the paper's 10 GB inputs).
+//
+// -stats threads one obs metrics registry through every cell of the
+// faults or readahead experiment and writes its aggregated snapshot
+// (spill outcomes, retries, fault injections, readahead hits) as JSON
+// alongside the BENCH report.
 //
 // The perf experiment is the host-level macro benchmark: it times the
 // three jobs under testing.B in both the seed-equivalent legacy
@@ -33,6 +38,7 @@ import (
 
 	"spongefiles/internal/bench"
 	"spongefiles/internal/media"
+	"spongefiles/internal/obs"
 )
 
 func main() {
@@ -41,6 +47,7 @@ func main() {
 	perfSize := flag.Float64("perfsize", 0.05, "dataset scale factor for the perf experiment")
 	perfWorkers := flag.Int("workers", 8, "cluster size for the perf experiment")
 	perfOut := flag.String("out", "", "write the perf experiment's JSON report to this file")
+	statsOut := flag.String("stats", "", "write the experiment's metrics registry snapshot (JSON) to this file (faults, readahead)")
 	flag.Parse()
 	which := "all"
 	if flag.NArg() > 0 {
@@ -51,11 +58,11 @@ func main() {
 		return
 	}
 	if which == "faults" {
-		faults(*perfOut)
+		faults(*perfOut, *statsOut)
 		return
 	}
 	if which == "readahead" {
-		readahead(*perfOut)
+		readahead(*perfOut, *statsOut)
 		return
 	}
 	run := func(name string, fn func()) {
@@ -97,8 +104,11 @@ func perf(size float64, workers int, out string) {
 	}
 }
 
-func faults(out string) {
+func faults(out, statsOut string) {
 	cfg := bench.DefaultFaults()
+	if statsOut != "" {
+		cfg.Metrics = obs.NewRegistry()
+	}
 	fmt.Printf("== Fault injection: spill placement vs exchange drop rate (%d workers, %d files x %d chunks, seed %d) ==\n",
 		cfg.Workers, cfg.Files, cfg.FileChunks, cfg.Seed)
 	cells := bench.RunFaults(cfg)
@@ -110,10 +120,14 @@ func faults(out string) {
 		}
 		fmt.Printf("report written to %s\n", out)
 	}
+	dumpStats(cfg.Metrics, statsOut)
 }
 
-func readahead(out string) {
+func readahead(out, statsOut string) {
 	cfg := bench.DefaultReadAhead()
+	if statsOut != "" {
+		cfg.Metrics = obs.NewRegistry()
+	}
 	fmt.Printf("== Readahead window: depth x injected exchange delay (%d workers, %d-chunk file, seed %d) ==\n",
 		cfg.Workers, cfg.FileChunks, cfg.Seed)
 	cells := bench.RunReadAhead(cfg)
@@ -125,6 +139,24 @@ func readahead(out string) {
 		}
 		fmt.Printf("report written to %s\n", out)
 	}
+	dumpStats(cfg.Metrics, statsOut)
+}
+
+// dumpStats writes the sweep's aggregated registry snapshot as JSON.
+func dumpStats(reg *obs.Registry, path string) {
+	if reg == nil || path == "" {
+		return
+	}
+	snap, err := obs.SnapshotJSON(reg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "snapshot: %v\n", err)
+		os.Exit(1)
+	}
+	if err := os.WriteFile(path, snap, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "write %s: %v\n", path, err)
+		os.Exit(1)
+	}
+	fmt.Printf("metrics snapshot written to %s\n", path)
 }
 
 func table1(spills int) {

@@ -5,13 +5,20 @@
 //
 //	spongectl serve   [-addr :7070] [-chunk 1048576] [-chunks 1024]
 //	                  [-inflight 16] [-read-timeout 0] [-write-timeout 0]
+//	                  [-metrics-addr 127.0.0.1:9090]
 //	spongectl stat    -addr host:port
+//	spongectl stats   [-addrs host:port,...] [-urls http://...,...]
+//	                  [-prefix sponge_,...] [-raw]
 //	spongectl demo    [-chunk 65536] [-chunks 64] [-conns 4]
 //	spongectl cluster [-nodes 3] [-chunks 32] [-mb 200] [-drop 0.1]
 //	                  [-readahead 4] ...
 //
-// "serve" runs a sponge server until interrupted. "stat" prints a
-// server's pool state. "demo" starts an in-process server, spills
+// "serve" runs a sponge server until interrupted; -metrics-addr adds an
+// HTTP sidecar serving the text exposition on /metrics. "stat" prints a
+// server's pool state. "stats" scrapes one or more live daemons — over
+// the wire protocol (-addrs) or HTTP (-urls) — and renders an
+// aggregated per-node metrics table (-raw dumps each exposition
+// verbatim instead). "demo" starts an in-process server, spills
 // chunks through it concurrently over a pipelined connection pool,
 // reads them back with zero-copy ReadInto, and prints a transcript.
 // "cluster" launches one sponge-server child process per node,
@@ -19,13 +26,17 @@
 // SpongeFile spill through the allocator chain so every remote chunk
 // crosses real process boundaries over real TCP; -readahead sets the
 // read-back window depth (up to that many chunk fetches multiplexed
-// over each pipelined connection at once).
+// over each pipelined connection at once). After the round trip it
+// scrapes every child over OpMetrics and prints the per-node table.
 package main
 
 import (
 	"bufio"
 	"flag"
 	"fmt"
+	"io"
+	"net"
+	"net/http"
 	"os"
 	"os/exec"
 	"os/signal"
@@ -35,6 +46,7 @@ import (
 
 	"spongefiles/internal/cluster"
 	"spongefiles/internal/media"
+	"spongefiles/internal/obs"
 	"spongefiles/internal/simtime"
 	"spongefiles/internal/sponge"
 	"spongefiles/internal/sponge/wire"
@@ -49,6 +61,8 @@ func main() {
 		serve(os.Args[2:])
 	case "stat":
 		stat(os.Args[2:])
+	case "stats":
+		statsCmd(os.Args[2:])
 	case "demo":
 		demo(os.Args[2:])
 	case "cluster":
@@ -59,7 +73,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: spongectl serve|stat|demo|cluster [flags]")
+	fmt.Fprintln(os.Stderr, "usage: spongectl serve|stat|stats|demo|cluster [flags]")
 	os.Exit(2)
 }
 
@@ -79,6 +93,7 @@ func serve(args []string) {
 	addr := fs.String("addr", "127.0.0.1:7070", "listen address")
 	chunk := fs.Int("chunk", 1<<20, "chunk size in bytes (the paper: 1 MB)")
 	chunks := fs.Int("chunks", 1024, "number of chunks in the sponge pool")
+	metricsAddr := fs.String("metrics-addr", "", "HTTP sidecar address serving /metrics (empty = none; OpMetrics always works)")
 	opts := serveOptions(fs)
 	fs.Parse(args)
 
@@ -90,10 +105,94 @@ func serve(args []string) {
 	}
 	fmt.Printf("sponge server on %s: %d chunks × %d bytes (%d MB pool)\n",
 		srv.Addr(), *chunks, *chunk, *chunks**chunk>>20)
+	if *metricsAddr != "" {
+		ln, err := net.Listen("tcp", *metricsAddr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		mux := http.NewServeMux()
+		mux.Handle("/metrics", obs.Handler(srv.Metrics()))
+		go http.Serve(ln, mux)
+		fmt.Printf("metrics on http://%s/metrics\n", ln.Addr())
+	}
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt)
 	<-sig
 	srv.Close()
+}
+
+// statsCmd scrapes live daemons and renders the aggregated table. Wire
+// endpoints (-addrs) hit any sponge server or TCP-served tracker via
+// OpMetrics; HTTP endpoints (-urls) hit a serve sidecar's /metrics.
+func statsCmd(args []string) {
+	fs := flag.NewFlagSet("stats", flag.ExitOnError)
+	addrs := fs.String("addrs", "", "comma-separated daemon addresses to scrape over the wire protocol")
+	urls := fs.String("urls", "", "comma-separated HTTP exposition URLs to scrape")
+	prefix := fs.String("prefix", "", "comma-separated metric-name prefixes to keep (empty = all)")
+	raw := fs.Bool("raw", false, "dump each endpoint's raw exposition instead of the table")
+	fs.Parse(args)
+
+	type scrape struct{ name, text string }
+	var scrapes []scrape
+	for _, addr := range splitList(*addrs) {
+		c, err := wire.Dial(addr)
+		if err != nil {
+			fatal(fmt.Errorf("scrape %s: %w", addr, err))
+		}
+		text, err := c.Metrics()
+		c.Close()
+		if err != nil {
+			fatal(fmt.Errorf("scrape %s: %w", addr, err))
+		}
+		scrapes = append(scrapes, scrape{addr, text})
+	}
+	for _, url := range splitList(*urls) {
+		resp, err := http.Get(url)
+		if err != nil {
+			fatal(fmt.Errorf("scrape %s: %w", url, err))
+		}
+		body, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			fatal(fmt.Errorf("scrape %s: %w", url, err))
+		}
+		if resp.StatusCode != http.StatusOK {
+			fatal(fmt.Errorf("scrape %s: HTTP %d", url, resp.StatusCode))
+		}
+		scrapes = append(scrapes, scrape{url, string(body)})
+	}
+	if len(scrapes) == 0 {
+		fatal(fmt.Errorf("stats: nothing to scrape; pass -addrs and/or -urls"))
+	}
+	if *raw {
+		for _, s := range scrapes {
+			fmt.Printf("== %s ==\n%s", s.name, s.text)
+		}
+		return
+	}
+	nodes := make([]obs.NodeSamples, 0, len(scrapes))
+	for _, s := range scrapes {
+		samples, err := obs.ParseText(s.text)
+		if err != nil {
+			fatal(fmt.Errorf("parse %s: %w", s.name, err))
+		}
+		nodes = append(nodes, obs.NodeSamples{Name: s.name, Samples: samples})
+	}
+	if err := obs.RenderNodeTable(os.Stdout, nodes, splitList(*prefix)...); err != nil {
+		fatal(err)
+	}
+}
+
+// splitList parses a comma-separated flag value, dropping empty items.
+func splitList(s string) []string {
+	var out []string
+	for _, item := range strings.Split(s, ",") {
+		if item = strings.TrimSpace(item); item != "" {
+			out = append(out, item)
+		}
+	}
+	return out
 }
 
 func stat(args []string) {
@@ -270,6 +369,36 @@ func clusterMain(args []string) {
 		if err == nil {
 			fmt.Printf("node%d pool after delete: %d/%d free\n", n, free, total)
 		}
+	}
+
+	// Aggregated metrics table: the task-side service registry (spill
+	// outcomes, retries, readahead) next to each child's wire scrape.
+	sim0, err := obs.ParseText(svc.Metrics().Text())
+	if err != nil {
+		fatal(err)
+	}
+	mnodes := []obs.NodeSamples{{Name: "sim", Samples: sim0}}
+	for n := 1; n <= *nodes; n++ {
+		cl, err := wire.Dial(addrs[n])
+		if err != nil {
+			continue
+		}
+		text, err := cl.Metrics()
+		cl.Close()
+		if err != nil {
+			continue
+		}
+		samples, err := obs.ParseText(text)
+		if err != nil {
+			continue
+		}
+		mnodes = append(mnodes, obs.NodeSamples{Name: fmt.Sprintf("node%d", n), Samples: samples})
+	}
+	fmt.Println()
+	if err := obs.RenderNodeTable(os.Stdout, mnodes,
+		"sponge_spill", "sponge_retries", "sponge_ra_", "sponge_fault",
+		"sponge_candidates", "spongewire_requests_total"); err != nil {
+		fatal(err)
 	}
 }
 

@@ -7,6 +7,7 @@ import (
 
 	"spongefiles/internal/cluster"
 	"spongefiles/internal/media"
+	"spongefiles/internal/obs"
 	"spongefiles/internal/simtime"
 	"spongefiles/internal/sponge"
 	"spongefiles/internal/sponge/wire"
@@ -29,6 +30,11 @@ type FaultsConfig struct {
 	DropRates []float64
 	// Seed drives the deterministic fault stream.
 	Seed int64
+	// Metrics, when non-nil, is the obs registry every cell's sponge
+	// service (and fault wrapper) instruments itself into, so one
+	// snapshot aggregates the whole sweep. Nil keeps registries
+	// private. Simulated results are identical either way.
+	Metrics *obs.Registry
 }
 
 // DefaultFaults is the checked-in BENCH_faults.json configuration.
@@ -87,7 +93,9 @@ func runFaultCell(transport string, drop float64, cfg FaultsConfig) FaultCell {
 	ccfg.SpongeMemory = 2 * media.MB // two chunks per node: remote capacity is tight
 	sim := simtime.New()
 	c := cluster.New(sim, ccfg)
-	svc := sponge.Start(c, sponge.DefaultConfig())
+	scfg := sponge.DefaultConfig()
+	scfg.Metrics = cfg.Metrics
+	svc := sponge.Start(c, scfg)
 
 	base := svc.Transport()
 	var cleanup []func()

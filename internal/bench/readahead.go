@@ -7,6 +7,7 @@ import (
 
 	"spongefiles/internal/cluster"
 	"spongefiles/internal/media"
+	"spongefiles/internal/obs"
 	"spongefiles/internal/simtime"
 	"spongefiles/internal/sponge"
 	"spongefiles/internal/sponge/wire"
@@ -37,6 +38,10 @@ type ReadAheadConfig struct {
 	// Seed drives the fault transport (which injects no faults here, only
 	// delay, but keeps its deterministic stream).
 	Seed int64
+	// Metrics, when non-nil, is the obs registry every cell's sponge
+	// service instruments itself into, so one snapshot aggregates the
+	// whole sweep. Nil keeps registries private.
+	Metrics *obs.Registry
 }
 
 // DefaultReadAhead is the checked-in BENCH_readahead.json configuration.
@@ -109,6 +114,7 @@ func runReadAheadCell(transport string, delayMs, depth int, cfg ReadAheadConfig)
 	c := cluster.New(sim, ccfg)
 	scfg := sponge.DefaultConfig()
 	scfg.ReadAheadDepth = depth
+	scfg.Metrics = cfg.Metrics
 	svc := sponge.Start(c, scfg)
 
 	base := svc.Transport()

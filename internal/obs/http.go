@@ -1,0 +1,12 @@
+package obs
+
+import "net/http"
+
+// Handler serves the registry's text exposition — the HTTP sidecar for
+// daemons that want a plain GET /metrics alongside the wire op.
+func Handler(r *Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		r.WriteText(w)
+	})
+}

@@ -1,0 +1,67 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"text/tabwriter"
+)
+
+// NodeSamples is one node's parsed scrape, keyed by series id.
+type NodeSamples struct {
+	Name    string // column header, typically the node's address
+	Samples map[string]int64
+}
+
+// RenderNodeTable writes an aggregated per-node table: one column per
+// node, one row per series id present on any node, plus a TOTAL column
+// summing across nodes. Cells for series a node did not report render
+// as "-". If prefixes are given, only series whose id starts with one
+// of them are included.
+func RenderNodeTable(w io.Writer, nodes []NodeSamples, prefixes ...string) error {
+	rowSet := make(map[string]bool)
+	for _, n := range nodes {
+		for id := range n.Samples {
+			if len(prefixes) > 0 && !hasAnyPrefix(id, prefixes) {
+				continue
+			}
+			rowSet[id] = true
+		}
+	}
+	rows := make([]string, 0, len(rowSet))
+	for id := range rowSet {
+		rows = append(rows, id)
+	}
+	sort.Strings(rows)
+
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprint(tw, "METRIC")
+	for _, n := range nodes {
+		fmt.Fprintf(tw, "\t%s", n.Name)
+	}
+	fmt.Fprint(tw, "\tTOTAL\n")
+	for _, id := range rows {
+		fmt.Fprint(tw, id)
+		var total int64
+		for _, n := range nodes {
+			if v, ok := n.Samples[id]; ok {
+				fmt.Fprintf(tw, "\t%d", v)
+				total += v
+			} else {
+				fmt.Fprint(tw, "\t-")
+			}
+		}
+		fmt.Fprintf(tw, "\t%d\n", total)
+	}
+	return tw.Flush()
+}
+
+func hasAnyPrefix(id string, prefixes []string) bool {
+	for _, p := range prefixes {
+		if strings.HasPrefix(id, p) {
+			return true
+		}
+	}
+	return false
+}

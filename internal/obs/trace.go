@@ -1,0 +1,130 @@
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// EventKind is a chunk lifecycle stage.
+type EventKind uint8
+
+const (
+	EvAlloc EventKind = iota + 1 // chunk slot claimed on some medium
+	EvWrite                      // payload landed on the medium
+	EvSeal                       // payload encrypted in place before hand-off
+	EvRead                       // payload fetched back
+	EvFree                       // chunk released
+)
+
+func (k EventKind) String() string {
+	switch k {
+	case EvAlloc:
+		return "alloc"
+	case EvWrite:
+		return "write"
+	case EvSeal:
+		return "seal"
+	case EvRead:
+		return "read"
+	case EvFree:
+		return "free"
+	}
+	return "?"
+}
+
+// Event is one chunk lifecycle record. Medium is the allocator-chain
+// kind the chunk lives on (the sponge package's ChunkKind values), or
+// -1 when not applicable; Node is the peer holding the chunk, or -1
+// for local media. Sim is the pluggable Clock's time (virtual
+// nanoseconds in simulated runs), Wall is always real Unix nanoseconds
+// so traces from live daemons line up with system logs.
+type Event struct {
+	Seq     uint64
+	Kind    EventKind
+	Medium  int8
+	Node    int32
+	Chunk   int32
+	Retries uint16
+	Sim     int64
+	Wall    int64
+}
+
+// Ring is a bounded, mutex-guarded trace buffer: appends wrap over the
+// oldest events so a long-running service keeps the most recent window
+// at a fixed memory cost. Append is allocation-free.
+type Ring struct {
+	mu    sync.Mutex
+	clock Clock
+	buf   []Event
+	next  uint64 // total events ever appended; Seq of the next one
+}
+
+// NewRing returns a ring holding up to capacity events, stamping Sim
+// timestamps from clock (WallClock if nil).
+func NewRing(capacity int, clock Clock) *Ring {
+	if capacity < 1 {
+		capacity = 1
+	}
+	if clock == nil {
+		clock = WallClock{}
+	}
+	return &Ring{clock: clock, buf: make([]Event, capacity)}
+}
+
+// Append records ev, filling in Seq and both timestamps.
+func (r *Ring) Append(ev Event) {
+	r.mu.Lock()
+	ev.Seq = r.next
+	ev.Sim = r.clock.Now()
+	ev.Wall = time.Now().UnixNano()
+	r.buf[r.next%uint64(len(r.buf))] = ev
+	r.next++
+	r.mu.Unlock()
+}
+
+// Len returns the number of events currently held (≤ capacity).
+func (r *Ring) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.next < uint64(len(r.buf)) {
+		return int(r.next)
+	}
+	return len(r.buf)
+}
+
+// Total returns the number of events ever appended, including those
+// overwritten by wrap-around.
+func (r *Ring) Total() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.next
+}
+
+// Dropped returns how many events have been overwritten.
+func (r *Ring) Dropped() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.next <= uint64(len(r.buf)) {
+		return 0
+	}
+	return r.next - uint64(len(r.buf))
+}
+
+// Snapshot copies the held events oldest-first.
+func (r *Ring) Snapshot() []Event {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	n := r.next
+	cap64 := uint64(len(r.buf))
+	start := uint64(0)
+	count := n
+	if n > cap64 {
+		start = n - cap64
+		count = cap64
+	}
+	out := make([]Event, 0, count)
+	for i := start; i < n; i++ {
+		out = append(out, r.buf[i%cap64])
+	}
+	return out
+}

@@ -1,0 +1,78 @@
+package obs
+
+import "testing"
+
+type fakeClock struct{ t int64 }
+
+func (c *fakeClock) Now() int64 { c.t += 10; return c.t }
+
+func TestRingWrapAndSeq(t *testing.T) {
+	clk := &fakeClock{}
+	r := NewRing(4, clk)
+	for i := 0; i < 6; i++ {
+		r.Append(Event{Kind: EvWrite, Chunk: int32(i)})
+	}
+	if r.Len() != 4 {
+		t.Fatalf("Len = %d, want 4", r.Len())
+	}
+	if r.Total() != 6 || r.Dropped() != 2 {
+		t.Fatalf("Total=%d Dropped=%d", r.Total(), r.Dropped())
+	}
+	evs := r.Snapshot()
+	if len(evs) != 4 {
+		t.Fatalf("snapshot len %d", len(evs))
+	}
+	for i, ev := range evs {
+		wantSeq := uint64(i + 2) // events 0,1 overwritten
+		if ev.Seq != wantSeq || ev.Chunk != int32(i+2) {
+			t.Fatalf("ev[%d] = seq %d chunk %d, want seq %d chunk %d",
+				i, ev.Seq, ev.Chunk, wantSeq, i+2)
+		}
+		if i > 0 && evs[i].Sim <= evs[i-1].Sim {
+			t.Fatalf("sim timestamps not increasing: %v", evs)
+		}
+		if ev.Wall == 0 {
+			t.Fatal("wall timestamp not stamped")
+		}
+	}
+}
+
+func TestRingPluggableClock(t *testing.T) {
+	clk := &fakeClock{t: 1000}
+	r := NewRing(2, clk)
+	r.Append(Event{Kind: EvAlloc})
+	ev := r.Snapshot()[0]
+	if ev.Sim != 1010 {
+		t.Fatalf("Sim = %d, want 1010 (from the pluggable clock)", ev.Sim)
+	}
+}
+
+func TestRingDefaultsToWallClock(t *testing.T) {
+	r := NewRing(1, nil)
+	r.Append(Event{Kind: EvFree})
+	ev := r.Snapshot()[0]
+	if ev.Sim == 0 || ev.Wall == 0 {
+		t.Fatalf("nil clock should default to wall time: %+v", ev)
+	}
+}
+
+func TestEventKindString(t *testing.T) {
+	for k, want := range map[EventKind]string{
+		EvAlloc: "alloc", EvWrite: "write", EvSeal: "seal",
+		EvRead: "read", EvFree: "free", EventKind(99): "?",
+	} {
+		if k.String() != want {
+			t.Fatalf("%d.String() = %q, want %q", k, k.String(), want)
+		}
+	}
+}
+
+// Ring.Append runs on the spill hot path; it must not allocate.
+func TestRingAppendSteadyStateAllocationFree(t *testing.T) {
+	r := NewRing(64, &fakeClock{})
+	if n := testing.AllocsPerRun(200, func() {
+		r.Append(Event{Kind: EvWrite, Medium: 1, Node: 2, Chunk: 3, Retries: 1})
+	}); n != 0 {
+		t.Fatalf("Ring.Append allocates: %v allocs/op", n)
+	}
+}

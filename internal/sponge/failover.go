@@ -34,6 +34,7 @@ func (s *Service) electTracker(p *simtime.Proc) bool {
 		t.pollOnce(p)
 		s.Tracker = t
 		s.failovers++
+		s.metrics.trackerFailovers.Inc()
 		return true
 	}
 	return false

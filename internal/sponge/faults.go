@@ -6,6 +6,7 @@ import (
 	"sync"
 
 	"spongefiles/internal/cluster"
+	"spongefiles/internal/obs"
 	"spongefiles/internal/simtime"
 )
 
@@ -70,6 +71,11 @@ type FaultTransport struct {
 	cutNodes map[int]bool
 	linkDrop map[linkKey]float64
 	stats    FaultStats
+
+	// Registered counters mirroring FaultStats into an obs registry;
+	// nil until AttachMetrics. The increments happen after the random
+	// rolls, so attaching metrics never perturbs the fault stream.
+	mExchanges, mDrops, mFastErrs, mBlocked *obs.Counter
 }
 
 // NewFaultTransport wraps inner with fault injection per cfg.
@@ -128,6 +134,21 @@ func (ft *FaultTransport) SetLinkDrop(a, b int, rate float64) {
 	ft.mu.Unlock()
 }
 
+// AttachMetrics mirrors the wrapper's counters into reg as
+// sponge_fault_*_total series. Service.SetTransport calls this
+// automatically; callers wiring a FaultTransport around a raw wire
+// transport may also attach by hand. Attaching consumes no randomness
+// and charges no virtual time, so the injected fault stream is
+// bit-identical with or without metrics.
+func (ft *FaultTransport) AttachMetrics(reg *obs.Registry) {
+	ft.mu.Lock()
+	defer ft.mu.Unlock()
+	ft.mExchanges = reg.Counter("sponge_fault_exchanges_total")
+	ft.mDrops = reg.Counter("sponge_fault_drops_total")
+	ft.mFastErrs = reg.Counter("sponge_fault_fast_errs_total")
+	ft.mBlocked = reg.Counter("sponge_fault_blocked_total")
+}
+
 // Stats snapshots the wrapper's counters.
 func (ft *FaultTransport) Stats() FaultStats {
 	ft.mu.Lock()
@@ -157,9 +178,15 @@ func (ft *FaultTransport) decide(from, to int) outcome {
 	ft.mu.Lock()
 	defer ft.mu.Unlock()
 	ft.stats.Exchanges++
+	if ft.mExchanges != nil {
+		ft.mExchanges.Inc()
+	}
 	dropRoll, errRoll := ft.rng.Float64(), ft.rng.Float64()
 	if ft.cutNodes[from] || ft.cutNodes[to] || ft.cutLinks[link(from, to)] {
 		ft.stats.Blocked++
+		if ft.mBlocked != nil {
+			ft.mBlocked.Inc()
+		}
 		return blocked
 	}
 	drop := ft.cfg.DropRate
@@ -168,10 +195,16 @@ func (ft *FaultTransport) decide(from, to int) outcome {
 	}
 	if dropRoll < drop {
 		ft.stats.Drops++
+		if ft.mDrops != nil {
+			ft.mDrops.Inc()
+		}
 		return dropped
 	}
 	if errRoll < ft.cfg.ErrRate {
 		ft.stats.FastErrs++
+		if ft.mFastErrs != nil {
+			ft.mFastErrs.Inc()
+		}
 		return fastErr
 	}
 	return deliver

@@ -263,6 +263,18 @@ func TestWatchdogReelectionUnderPollDrops(t *testing.T) {
 		if nt.PollDrops() == 0 {
 			t.Error("dropped polls to node 2 went uncounted")
 		}
+		// Per-node attribution: every drop belongs to node 2 (the cut
+		// link). Node 0 is dead and skipped, node 1 is the tracker's own
+		// loopback poll, so neither may accumulate drops.
+		if got := nt.PollDropsFor(2); got == 0 || got != nt.PollDrops() {
+			t.Errorf("node 2 attributed %d of %d poll drops", got, nt.PollDrops())
+		}
+		if got := nt.PollDropsFor(0); got != 0 {
+			t.Errorf("dead node 0 attributed %d poll drops", got)
+		}
+		if got := nt.PollDropsFor(1); got != 0 {
+			t.Errorf("loopback poll to node 1 attributed %d drops", got)
+		}
 		if nt.snapshot[2] != 0 {
 			t.Errorf("unreachable server advertised %d free chunks", nt.snapshot[2])
 		}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"spongefiles/internal/media"
+	"spongefiles/internal/obs"
 	"spongefiles/internal/simtime"
 )
 
@@ -231,16 +232,22 @@ func (f *File) flushChunk(p *simtime.Proc) error {
 	if f.agent.cipher != nil {
 		nonce = f.agent.cipher.nextNonce()
 		f.agent.cipher.seal(p, f.agent.node, nonce, plain)
+		// Sealed before placement: the medium is not yet known.
+		f.agent.svc.metrics.event(obs.EvSeal, -1, -1, len(f.chunks), 0)
 	}
 
 	// 1. Local sponge memory through shared memory (or through the local
 	// server's socket when the agent is configured to measure that path).
+	m := f.agent.svc.metrics
 	pool := f.agent.svc.Servers[f.agent.node.ID].Pool()
 	if f.agent.UseLocalServerIPC {
 		h, err := f.agent.svc.Servers[f.agent.node.ID].AllocWriteLocalIPC(p, f.agent.task, plain)
 		if err == nil {
 			f.chunks = append(f.chunks, chunkRef{kind: LocalMem, node: f.agent.node.ID, handle: h, size: n, nonce: nonce})
 			f.stats.ByKind[LocalMem]++
+			m.spill[LocalMem].Inc()
+			m.event(obs.EvAlloc, int8(LocalMem), f.agent.node.ID, len(f.chunks)-1, 0)
+			m.event(obs.EvWrite, int8(LocalMem), f.agent.node.ID, len(f.chunks)-1, 0)
 			return nil
 		}
 	} else {
@@ -254,9 +261,14 @@ func (f *File) flushChunk(p *simtime.Proc) error {
 			}
 			f.chunks = append(f.chunks, chunkRef{kind: LocalMem, node: f.agent.node.ID, handle: h, size: n, nonce: nonce})
 			f.stats.ByKind[LocalMem]++
+			m.spill[LocalMem].Inc()
+			m.event(obs.EvAlloc, int8(LocalMem), f.agent.node.ID, len(f.chunks)-1, 0)
+			m.event(obs.EvWrite, int8(LocalMem), f.agent.node.ID, len(f.chunks)-1, 0)
 			return nil
 		}
 	}
+	// The local pool turned the chunk away; it falls down the chain.
+	m.fallbackLocalFull.Inc()
 
 	// 2..4. Non-local media: hand the payload to an async writer in a
 	// recycled chunk buffer. The hand-off copy is real and is charged; the
@@ -272,11 +284,14 @@ func (f *File) flushChunk(p *simtime.Proc) error {
 	f.chunks = append(f.chunks, chunkRef{pending: true, size: n})
 
 	write := func(wp *simtime.Proc) {
-		ref := f.spillNonLocal(wp, payload)
+		ref, retries := f.spillNonLocal(wp, payload)
 		ref.size = n
 		ref.nonce = nonce
 		f.chunks[idx] = ref
 		f.stats.ByKind[ref.kind]++
+		m.spill[ref.kind].Inc()
+		m.event(obs.EvAlloc, int8(ref.kind), refNode(&ref), idx, retries)
+		m.event(obs.EvWrite, int8(ref.kind), refNode(&ref), idx, retries)
 		if ref.data == nil {
 			f.agent.svc.putBuf(payload)
 		}
@@ -291,11 +306,14 @@ func (f *File) flushChunk(p *simtime.Proc) error {
 	if f.asyncSlots == nil {
 		// Synchronous configuration.
 		f.outstanding--
-		ref := f.spillNonLocal(p, payload)
+		ref, retries := f.spillNonLocal(p, payload)
 		ref.size = n
 		ref.nonce = nonce
 		f.chunks[idx] = ref
 		f.stats.ByKind[ref.kind]++
+		m.spill[ref.kind].Inc()
+		m.event(obs.EvAlloc, int8(ref.kind), refNode(&ref), idx, retries)
+		m.event(obs.EvWrite, int8(ref.kind), refNode(&ref), idx, retries)
 		if ref.data == nil {
 			f.agent.svc.putBuf(payload)
 		}
@@ -308,10 +326,12 @@ func (f *File) flushChunk(p *simtime.Proc) error {
 }
 
 // spillNonLocal stores payload in remote memory, local disk, or the
-// remote FS, in that order, and returns the resulting reference.
-func (f *File) spillNonLocal(p *simtime.Proc, payload []byte) chunkRef {
-	if ref, ok := f.tryRemoteMemory(p, payload); ok {
-		return ref
+// remote FS, in that order, and returns the resulting reference plus
+// how many lost exchanges were retried along the way (for the trace).
+func (f *File) spillNonLocal(p *simtime.Proc, payload []byte) (chunkRef, int) {
+	ref, retries, ok := f.tryRemoteMemory(p, payload)
+	if ok {
+		return ref, retries
 	}
 	if f.agent.svc.Config.LocalDiskEnabled {
 		if !f.hasDisk {
@@ -319,14 +339,14 @@ func (f *File) spillNonLocal(p *simtime.Proc, payload []byte) chunkRef {
 			f.hasDisk = true
 		}
 		f.agent.node.WriteFile(p, f.diskStream, len(payload))
-		return chunkRef{kind: LocalDisk, data: payload}
+		return chunkRef{kind: LocalDisk, data: payload}, retries
 	}
 	if f.agent.svc.Config.Remote != nil {
 		if f.remoteSpill == nil {
 			f.remoteSpill = f.agent.svc.Config.Remote.CreateSpill(p, f.agent.node, f.agent.task)
 		}
 		f.remoteSpill.Append(p, payload)
-		return chunkRef{kind: RemoteFS, data: payload}
+		return chunkRef{kind: RemoteFS, data: payload}, retries
 	}
 	panic("sponge: no spill medium available for " + f.name)
 }
@@ -334,11 +354,12 @@ func (f *File) spillNonLocal(p *simtime.Proc, payload []byte) chunkRef {
 // tryRemoteMemory walks the candidate servers — affinity nodes first,
 // then by advertised free space — and attempts an allocate-and-write on
 // each. Stale entries simply fail and are dropped from this file's list.
-func (f *File) tryRemoteMemory(p *simtime.Proc, payload []byte) (chunkRef, bool) {
+func (f *File) tryRemoteMemory(p *simtime.Proc, payload []byte) (chunkRef, int, bool) {
 	svc := f.agent.svc
 	if svc.Config.RemoteDisabled {
-		return chunkRef{}, false
+		return chunkRef{}, 0, false
 	}
+	retries := 0
 	order := make([]FreeEntry, 0, len(f.candidates))
 	if svc.Config.Affinity {
 		for _, c := range f.candidates {
@@ -361,18 +382,23 @@ func (f *File) tryRemoteMemory(p *simtime.Proc, payload []byte) (chunkRef, bool)
 		if svc.Config.RackLocalOnly && !svc.Cluster.SameRack(f.agent.node, svc.Cluster.Nodes[c.Node]) {
 			continue
 		}
-		h, err := f.allocRemote(p, c.Node, payload)
+		h, r, err := f.allocRemote(p, c.Node, payload)
+		retries += r
 		if err != nil {
 			// Stale free-list entry, failed node, or a peer that stayed
 			// unreachable through the retry budget: forget it for the
 			// rest of this file's life.
 			f.deadNodes[c.Node] = true
+			svc.metrics.blacklists.Inc()
 			continue
 		}
 		f.agent.usedNodes[c.Node] = true
-		return chunkRef{kind: RemoteMem, node: c.Node, handle: h}, true
+		return chunkRef{kind: RemoteMem, node: c.Node, handle: h}, retries, true
 	}
-	return chunkRef{}, false
+	// Every candidate refused (or none existed): the chunk falls past
+	// remote memory to the disk / remote-FS legs of the chain.
+	svc.metrics.fallbackRemoteExhst.Inc()
+	return chunkRef{}, retries, false
 }
 
 // allocRemote attempts an allocate-and-write on one candidate through
@@ -380,18 +406,19 @@ func (f *File) tryRemoteMemory(p *simtime.Proc, payload []byte) (chunkRef, bool)
 // retried up to the service's retry limit with backoff; application
 // refusals — a full pool, a quota rejection, a failed node — are final
 // for this candidate and returned at once.
-func (f *File) allocRemote(p *simtime.Proc, node int, payload []byte) (int, error) {
+func (f *File) allocRemote(p *simtime.Proc, node int, payload []byte) (int, int, error) {
 	svc := f.agent.svc
 	peer := svc.peer(node)
 	for attempt := 0; ; attempt++ {
 		h, err := peer.AllocWrite(p, f.agent.node, f.agent.task, payload)
 		if err == nil {
-			return h, nil
+			return h, attempt, nil
 		}
 		if !errors.Is(err, ErrPeerUnreachable) || attempt >= svc.Config.RetryLimit {
-			return 0, err
+			return 0, attempt, err
 		}
 		f.stats.Retries++
+		svc.metrics.retriesAlloc.Inc()
 		p.Sleep(svc.Config.RetryBackoff)
 	}
 }
@@ -462,11 +489,13 @@ func (f *File) releaseCur() {
 // window's copy when a fetcher already owns the chunk, and refills the
 // readahead window.
 func (f *File) ensureChunk(p *simtime.Proc, i int) error {
+	m := f.agent.svc.metrics
 	f.releaseCur()
 	if s := f.raLookup(i); s != nil {
 		// A window member owns this chunk; wait for its delivery. Other
 		// slots broadcasting wake the reader spuriously — re-check, as
 		// with any condition wait.
+		m.raHits.Inc()
 		for !s.done {
 			f.prefetchDone.Wait(p)
 		}
@@ -478,6 +507,7 @@ func (f *File) ensureChunk(p *simtime.Proc, i int) error {
 		f.cur = buf
 		f.curChunk = i
 	} else {
+		m.raInline.Inc()
 		buf, err := f.fetchChunk(p, i)
 		if err != nil {
 			return err
@@ -486,6 +516,7 @@ func (f *File) ensureChunk(p *simtime.Proc, i int) error {
 		f.curChunk = i
 	}
 	f.fillWindow(p, i+1)
+	m.raOccupancy.Observe(int64(f.raInFlight))
 	return nil
 }
 
@@ -536,6 +567,7 @@ func (f *File) fillWindow(p *simtime.Proc, from int) {
 		i := f.raNext
 		f.raNext++
 		if k := f.chunks[i].kind; k == LocalMem || k == RemoteFS {
+			f.agent.svc.metrics.raSkips.Inc()
 			continue
 		}
 		for k := range f.ra {
@@ -583,6 +615,7 @@ func (f *File) fetchChunk(p *simtime.Proc, i int) ([]byte, error) {
 // recycles it when the read cursor moves past the chunk.
 func (f *File) fetchRaw(p *simtime.Proc, i int) ([]byte, error) {
 	ref := &f.chunks[i]
+	m := f.agent.svc.metrics
 	buf := f.agent.svc.getBuf()[:ref.size]
 	switch ref.kind {
 	case LocalMem:
@@ -592,6 +625,7 @@ func (f *File) fetchRaw(p *simtime.Proc, i int) ([]byte, error) {
 				f.agent.svc.putBuf(buf)
 				return nil, err
 			}
+			m.event(obs.EvRead, int8(LocalMem), ref.node, i, 0)
 			return buf, nil
 		}
 		// Shared memory: no fetch; the per-byte copy is charged in Read.
@@ -599,16 +633,20 @@ func (f *File) fetchRaw(p *simtime.Proc, i int) ([]byte, error) {
 			f.agent.svc.putBuf(buf)
 			return nil, err
 		}
+		m.event(obs.EvRead, int8(LocalMem), ref.node, i, 0)
 		return buf, nil
 	case RemoteMem:
-		if err := f.readRemote(p, ref.node, ref.handle, buf); err != nil {
+		retries, err := f.readRemote(p, ref.node, ref.handle, buf)
+		if err != nil {
 			f.agent.svc.putBuf(buf)
 			return nil, err
 		}
+		m.event(obs.EvRead, int8(RemoteMem), ref.node, i, retries)
 		return buf, nil
 	case LocalDisk:
 		f.agent.node.ReadFile(p, f.diskStream, ref.size)
 		copy(buf, ref.data)
+		m.event(obs.EvRead, int8(LocalDisk), -1, i, 0)
 		return buf, nil
 	case RemoteFS:
 		if f.remoteSpill == nil {
@@ -625,6 +663,7 @@ func (f *File) fetchRaw(p *simtime.Proc, i int) ([]byte, error) {
 		}
 		f.remoteSpill.Read(p, buf)
 		copy(buf, ref.data)
+		m.event(obs.EvRead, int8(RemoteFS), -1, i, 0)
 		return buf, nil
 	}
 	panic("sponge: unknown chunk kind")
@@ -635,21 +674,23 @@ func (f *File) fetchRaw(p *simtime.Proc, i int) ([]byte, error) {
 // retry budget means the chunk cannot be recovered: the caller gets
 // ErrChunkLost — exactly what a failed hosting node produces — and the
 // framework restarts the owning task (§3.1).
-func (f *File) readRemote(p *simtime.Proc, node, handle int, buf []byte) error {
+func (f *File) readRemote(p *simtime.Proc, node, handle int, buf []byte) (int, error) {
 	svc := f.agent.svc
 	peer := svc.peer(node)
 	for attempt := 0; ; attempt++ {
 		_, err := peer.Read(p, f.agent.node, handle, buf)
 		if err == nil {
-			return nil
+			return attempt, nil
 		}
 		if !errors.Is(err, ErrPeerUnreachable) {
-			return err
+			return attempt, err
 		}
 		if attempt >= svc.Config.RetryLimit {
-			return fmt.Errorf("%w: node %d unreachable after %d attempts", ErrChunkLost, node, attempt+1)
+			svc.metrics.chunksLost.Inc()
+			return attempt, fmt.Errorf("%w: node %d unreachable after %d attempts", ErrChunkLost, node, attempt+1)
 		}
 		f.stats.Retries++
+		svc.metrics.retriesRead.Inc()
 		p.Sleep(svc.Config.RetryBackoff)
 	}
 }
@@ -709,6 +750,7 @@ func (f *File) Delete(p *simtime.Proc) {
 		f.prefetchDone.Wait(p)
 	}
 	pool := f.agent.svc.Servers[f.agent.node.ID].Pool()
+	m := f.agent.svc.metrics
 	for i := range f.chunks {
 		ref := &f.chunks[i]
 		switch ref.kind {
@@ -723,6 +765,7 @@ func (f *File) Delete(p *simtime.Proc) {
 			// reclaims it once the task exits (§3.1.3).
 			_ = f.agent.svc.peer(ref.node).Free(p, f.agent.node, ref.handle)
 		}
+		m.event(obs.EvFree, int8(ref.kind), refNode(ref), i, 0)
 		if ref.data != nil {
 			f.agent.svc.putBuf(ref.data)
 			ref.data = nil

@@ -1,0 +1,161 @@
+package sponge
+
+import (
+	"strconv"
+
+	"spongefiles/internal/obs"
+	"spongefiles/internal/simtime"
+)
+
+// simClock adapts the simulation's virtual clock to the obs.Clock seam,
+// so trace events from simulated runs carry virtual-nanosecond
+// timestamps that line up with the experiment timeline. The adapter is
+// a single pointer, so storing it in the Clock interface allocates
+// nothing and recording an event stays on the zero-alloc hot path.
+type simClock struct {
+	sim *simtime.Sim
+}
+
+func (c simClock) Now() int64 { return int64(c.sim.Now()) }
+
+// defaultTraceCap bounds the per-service chunk-lifecycle trace ring.
+const defaultTraceCap = 1024
+
+// kindNames are the exposition labels for the allocator chain, indexed
+// by ChunkKind.
+var kindNames = [4]string{"local_mem", "remote_mem", "local_disk", "remote_fs"}
+
+// svcMetrics holds every pre-registered handle the service's hot paths
+// mutate. All handles are resolved once at Start — the spill and read
+// paths never touch the registry map, only atomic counters, gauges,
+// histogram cells, and the trace ring's fixed buffer, keeping the
+// steady state at zero allocations and zero virtual-time/RNG impact
+// (the seed-golden baselines stay bit-identical with metrics on).
+type svcMetrics struct {
+	reg   *obs.Registry
+	trace *obs.Ring
+
+	// Allocator-chain outcomes: one counter per landing medium, plus
+	// the fallback reasons that pushed a chunk down the chain.
+	spill               [4]*obs.Counter
+	fallbackLocalFull   *obs.Counter
+	fallbackRemoteExhst *obs.Counter
+	blacklists          *obs.Counter
+
+	// Transport retries by operation, and chunks lost for good.
+	retriesAlloc *obs.Counter
+	retriesRead  *obs.Counter
+	retriesPoll  *obs.Counter
+	chunksLost   *obs.Counter
+
+	// Readahead window behaviour.
+	raHits      *obs.Counter
+	raInline    *obs.Counter
+	raSkips     *obs.Counter
+	raOccupancy *obs.Histogram
+
+	// Tracker health.
+	trackerPolls     *obs.Counter
+	trackerQueries   *obs.Counter
+	trackerFailovers *obs.Counter
+	trackerLastPoll  *obs.Gauge
+	trackerDrops     []*obs.Counter // per polled node
+
+	// Per-node server counters.
+	remoteAllocs     []*obs.Counter
+	remoteAllocFails []*obs.Counter
+	gcFreed          []*obs.Counter
+}
+
+func newSvcMetrics(reg *obs.Registry, clock obs.Clock, nnodes int) *svcMetrics {
+	m := &svcMetrics{
+		reg:                 reg,
+		trace:               obs.NewRing(defaultTraceCap, clock),
+		fallbackLocalFull:   reg.Counter("sponge_spill_fallback_total", obs.L("reason", "local_full")),
+		fallbackRemoteExhst: reg.Counter("sponge_spill_fallback_total", obs.L("reason", "remote_exhausted")),
+		blacklists:          reg.Counter("sponge_candidates_blacklisted_total"),
+		retriesAlloc:        reg.Counter("sponge_retries_total", obs.L("op", "alloc")),
+		retriesRead:         reg.Counter("sponge_retries_total", obs.L("op", "read")),
+		retriesPoll:         reg.Counter("sponge_retries_total", obs.L("op", "poll")),
+		chunksLost:          reg.Counter("sponge_chunks_lost_total"),
+		raHits:              reg.Counter("sponge_ra_window_hits_total"),
+		raInline:            reg.Counter("sponge_ra_inline_fetch_total"),
+		raSkips:             reg.Counter("sponge_ra_skips_total"),
+		raOccupancy:         reg.Histogram("sponge_ra_occupancy", []int64{1, 2, 4, 8, 16}),
+		trackerPolls:        reg.Counter("sponge_tracker_polls_total"),
+		trackerQueries:      reg.Counter("sponge_tracker_queries_total"),
+		trackerFailovers:    reg.Counter("sponge_tracker_failovers_total"),
+		trackerLastPoll:     reg.Gauge("sponge_tracker_last_poll_ns"),
+		trackerDrops:        make([]*obs.Counter, nnodes),
+		remoteAllocs:        make([]*obs.Counter, nnodes),
+		remoteAllocFails:    make([]*obs.Counter, nnodes),
+		gcFreed:             make([]*obs.Counter, nnodes),
+	}
+	for k, name := range kindNames {
+		m.spill[k] = reg.Counter("sponge_spill_chunks_total", obs.L("kind", name))
+	}
+	for i := 0; i < nnodes; i++ {
+		node := obs.L("node", strconv.Itoa(i))
+		m.trackerDrops[i] = reg.Counter("sponge_tracker_poll_drops_total", node)
+		m.remoteAllocs[i] = reg.Counter("sponge_remote_allocs_total", node)
+		m.remoteAllocFails[i] = reg.Counter("sponge_remote_alloc_fails_total", node)
+		m.gcFreed[i] = reg.Counter("sponge_gc_freed_chunks_total", node)
+	}
+	return m
+}
+
+// registerGauges wires the callback-backed gauges — pool depth and
+// high-water per node, buffer-pool accounting — after the service's
+// servers exist. GaugeFunc re-registration replaces the callback, so a
+// registry shared across services reflects the latest service.
+func (m *svcMetrics) registerGauges(s *Service) {
+	for i, srv := range s.Servers {
+		node := obs.L("node", strconv.Itoa(i))
+		pool := srv.Pool()
+		m.reg.GaugeFunc("sponge_pool_free_chunks", func() int64 {
+			return int64(pool.Free())
+		}, node)
+		m.reg.GaugeFunc("sponge_pool_high_water", func() int64 {
+			return int64(pool.Stats().HighWater)
+		}, node)
+		m.reg.GaugeFunc("sponge_pool_owner_tasks", func() int64 {
+			return int64(pool.Stats().Owners)
+		}, node)
+	}
+	m.reg.GaugeFunc("sponge_buf_outstanding", func() int64 {
+		return s.BufPoolStats().Outstanding()
+	})
+	m.reg.GaugeFunc("sponge_buf_cached", func() int64 {
+		return int64(s.BufPoolStats().Cached)
+	})
+}
+
+// event appends one chunk-lifecycle record to the trace ring. medium is
+// a ChunkKind, or -1 when the medium is not yet decided (seal happens
+// before placement); node is the hosting peer, or -1 for local media.
+func (m *svcMetrics) event(kind obs.EventKind, medium int8, node, chunk, retries int) {
+	m.trace.Append(obs.Event{
+		Kind:    kind,
+		Medium:  medium,
+		Node:    int32(node),
+		Chunk:   int32(chunk),
+		Retries: uint16(retries),
+	})
+}
+
+// refNode is the trace-event node for a chunk reference: the hosting
+// node for memory media, -1 for disk and remote-FS chunks (whose bytes
+// ride with the file itself).
+func refNode(ref *chunkRef) int {
+	if ref.kind == LocalMem || ref.kind == RemoteMem {
+		return ref.node
+	}
+	return -1
+}
+
+// Metrics returns the service's registry: the one passed in
+// ServiceConfig.Metrics, or the private registry created at Start.
+func (s *Service) Metrics() *obs.Registry { return s.metrics.reg }
+
+// Trace returns the service's chunk-lifecycle trace ring.
+func (s *Service) Trace() *obs.Ring { return s.metrics.trace }

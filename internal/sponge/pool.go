@@ -42,8 +42,9 @@ type Pool struct {
 	// failed marks the hosting node as dead: all chunks are lost.
 	failed bool
 
-	// Stats.
+	// Stats. highWater is the most chunks ever simultaneously in use.
 	allocs, allocFails, frees int64
+	highWater                 int
 }
 
 // segmentChunks caps chunks per slab, mirroring the paper's ≤2 GB
@@ -129,6 +130,9 @@ func (p *Pool) Alloc(owner TaskID) (int, error) {
 	p.lengths[h] = 0
 	p.held[owner]++
 	p.allocs++
+	if used := len(p.owners) - len(p.freeList); used > p.highWater {
+		p.highWater = used
+	}
 	return h, nil
 }
 
@@ -260,9 +264,31 @@ func (p *Pool) Failed() bool {
 	return p.failed
 }
 
-// Stats returns (allocations, allocation failures, frees).
-func (p *Pool) Stats() (allocs, fails, frees int64) {
+// PoolStats is a consistent snapshot of one pool's occupancy and
+// lifetime counters, taken under the metadata lock.
+type PoolStats struct {
+	FreeChunks  int // chunks on the free list right now
+	TotalChunks int // pool capacity
+	HighWater   int // most chunks ever simultaneously in use
+	Owners      int // distinct tasks currently holding chunks
+	Allocs      int64
+	AllocFails  int64
+	Frees       int64
+}
+
+// Stats snapshots the pool's occupancy and counters in one lock
+// acquisition, so invariants relating the fields (free + in-use =
+// total) hold within the returned value.
+func (p *Pool) Stats() PoolStats {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	return p.allocs, p.allocFails, p.frees
+	return PoolStats{
+		FreeChunks:  len(p.freeList),
+		TotalChunks: len(p.owners),
+		HighWater:   p.highWater,
+		Owners:      len(p.held),
+		Allocs:      p.allocs,
+		AllocFails:  p.allocFails,
+		Frees:       p.frees,
+	}
 }

@@ -148,9 +148,11 @@ func TestPoolDoubleFreePanics(t *testing.T) {
 
 // TestPoolFreeListInvariants drives the O(1) free-list through a long
 // randomized alloc/free/free-owned/quota schedule against a naive
-// reference model: the free list must stay an exact permutation of the
-// zero-owner handles, per-owner held counts must match, and the quota
-// must hold at every step.
+// reference model, observing the pool only through the exported Stats
+// snapshot: the free list must stay an exact permutation of the
+// zero-owner handles, per-owner held counts, the distinct-owner count,
+// and the high-water mark must match the model, and the quota must hold
+// at every step.
 func TestPoolFreeListInvariants(t *testing.T) {
 	const chunks = 24
 	rng := rand.New(rand.NewSource(42))
@@ -158,15 +160,32 @@ func TestPoolFreeListInvariants(t *testing.T) {
 	quota := 0
 	owners := []TaskID{{Node: 0, PID: 1}, {Node: 0, PID: 2}, {Node: 1, PID: 3}}
 	held := map[TaskID][]int{} // reference model: handles per owner
+	modelHW := 0               // reference model: most chunks ever in use at once
 
 	check := func(step int) {
 		t.Helper()
-		live := 0
+		live, distinct := 0, 0
 		for _, hs := range held {
 			live += len(hs)
+			if len(hs) > 0 {
+				distinct++
+			}
 		}
-		if got := p.Free(); got != chunks-live {
-			t.Fatalf("step %d: Free() = %d, want %d", step, got, chunks-live)
+		st := p.Stats()
+		if st.FreeChunks != chunks-live {
+			t.Fatalf("step %d: FreeChunks = %d, want %d", step, st.FreeChunks, chunks-live)
+		}
+		if st.TotalChunks != chunks {
+			t.Fatalf("step %d: TotalChunks = %d, want %d", step, st.TotalChunks, chunks)
+		}
+		if st.Owners != distinct {
+			t.Fatalf("step %d: Owners = %d, want %d", step, st.Owners, distinct)
+		}
+		if st.HighWater != modelHW {
+			t.Fatalf("step %d: HighWater = %d, want %d", step, st.HighWater, modelHW)
+		}
+		if st.FreeChunks+live != st.TotalChunks {
+			t.Fatalf("step %d: free %d + live %d != total %d", step, st.FreeChunks, live, st.TotalChunks)
 		}
 		// The pool's view of per-owner counts must match the model.
 		po := p.Owners()
@@ -207,6 +226,9 @@ func TestPoolFreeListInvariants(t *testing.T) {
 		for _, h := range got {
 			p.FreeChunk(h)
 		}
+		// The probe just filled the pool completely, so from here the
+		// high-water mark sits at capacity.
+		modelHW = chunks
 	}
 
 	for step := 0; step < 2000; step++ {
@@ -220,6 +242,13 @@ func TestPoolFreeListInvariants(t *testing.T) {
 					t.Fatalf("step %d: alloc beyond quota %d", step, quota)
 				}
 				held[o] = append(held[o], h)
+				live := 0
+				for _, hs := range held {
+					live += len(hs)
+				}
+				if live > modelHW {
+					modelHW = live
+				}
 			case err == ErrQuotaExceeded:
 				if quota == 0 || len(held[o]) < quota {
 					t.Fatalf("step %d: spurious quota error at %d held", step, len(held[o]))

@@ -91,6 +91,7 @@ func (s *Server) AllocWriteRemote(p *simtime.Proc, from *cluster.Node, owner Tas
 	h, err := s.pool.Alloc(owner)
 	if err != nil {
 		s.remoteAllocFails++
+		s.svc.metrics.remoteAllocFails[s.node.ID].Inc()
 		return 0, err
 	}
 	// Data transfer; the server-side copy into the pool overlaps the
@@ -101,6 +102,7 @@ func (s *Server) AllocWriteRemote(p *simtime.Proc, from *cluster.Node, owner Tas
 		return 0, err
 	}
 	s.remoteAllocs++
+	s.svc.metrics.remoteAllocs[s.node.ID].Inc()
 	return h, nil
 }
 
@@ -213,6 +215,7 @@ func (s *Server) gcSweep(p *simtime.Proc) int {
 			n := s.pool.FreeOwnedBy(owner)
 			freed += n
 			s.gcFreed += int64(n)
+			s.svc.metrics.gcFreed[s.node.ID].Add(int64(n))
 		}
 	}
 	return freed

@@ -5,6 +5,7 @@ import (
 
 	"spongefiles/internal/cluster"
 	"spongefiles/internal/media"
+	"spongefiles/internal/obs"
 	"spongefiles/internal/simtime"
 )
 
@@ -74,6 +75,13 @@ type ServiceConfig struct {
 	// behaviour. Only the benchmark harness sets this, to measure the
 	// recycled hot path against its predecessor.
 	DisableBufferRecycling bool
+	// Metrics, when non-nil, is the registry the service instruments
+	// itself into; nil means a private registry (always on — recording
+	// costs no allocation, no virtual time, and no randomness, so
+	// instrumented runs are bit-identical to uninstrumented ones).
+	// Several services (or wire daemons) may share one registry: series
+	// are get-or-create, so identically named counters aggregate.
+	Metrics *obs.Registry
 }
 
 // DefaultConfig returns the paper's configuration.
@@ -122,6 +130,10 @@ type Service struct {
 	dead      []bool
 	failovers int
 
+	// metrics holds the pre-registered observability handles the hot
+	// paths mutate; always non-nil after Start.
+	metrics *svcMetrics
+
 	// OnQuotaViolation, when set, is invoked by the quota sweep with
 	// each task found holding more than its per-node quota (§3.1.4's
 	// corrective action — e.g. the engine kills the task).
@@ -164,6 +176,11 @@ func Start(c *cluster.Cluster, cfg ServiceConfig) *Service {
 	s.transport = simTransport{s}
 	s.peers = make([]Peer, len(c.Nodes))
 	s.bufs = newBufPool(s.chunkReal, !cfg.DisableBufferRecycling)
+	reg := cfg.Metrics
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	s.metrics = newSvcMetrics(reg, simClock{c.Sim}, len(c.Nodes))
 	chunksPerNode := int(c.Cfg.SpongeMemory / cfg.ChunkVirtual)
 	for _, n := range c.Nodes {
 		pool := NewPool(s.chunkReal, chunksPerNode)
@@ -174,6 +191,7 @@ func Start(c *cluster.Cluster, cfg ServiceConfig) *Service {
 		s.Servers = append(s.Servers, srv)
 		c.Sim.SpawnDaemon(fmt.Sprintf("spongegc@%s", n.Name()), srv.gcLoop)
 	}
+	s.metrics.registerGauges(s)
 	s.Tracker = newTracker(s, c.Nodes[0])
 	// The service is deployed long before any task runs; seed the
 	// tracker's snapshot so allocation works from virtual time zero
@@ -203,6 +221,17 @@ func (s *Service) SetTransport(t Transport) {
 	}
 	s.transport = t
 	s.peers = make([]Peer, len(s.Cluster.Nodes))
+	// Transports that can report into the registry (FaultTransport's
+	// drop/partition counters, notably) are attached automatically.
+	if a, ok := t.(metricsAttacher); ok {
+		a.AttachMetrics(s.metrics.reg)
+	}
+}
+
+// metricsAttacher is implemented by transports that export their own
+// counters into a registry; SetTransport attaches them automatically.
+type metricsAttacher interface {
+	AttachMetrics(*obs.Registry)
 }
 
 // peer returns the transport's handle on a node's sponge server, cached

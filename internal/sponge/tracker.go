@@ -26,11 +26,18 @@ type Tracker struct {
 	// pollDrops counts per-server polls lost in the network even after
 	// retrying; the server is recorded as having no free space until a
 	// later poll reaches it (the stale-free-list trade of §3.1.1).
-	pollDrops int64
+	// pollDropsNode attributes the same drops to the polled node.
+	pollDrops     int64
+	pollDropsNode []int64
 }
 
 func newTracker(svc *Service, node *cluster.Node) *Tracker {
-	return &Tracker{svc: svc, node: node, snapshot: make([]int, len(svc.Cluster.Nodes))}
+	return &Tracker{
+		svc:           svc,
+		node:          node,
+		snapshot:      make([]int, len(svc.Cluster.Nodes)),
+		pollDropsNode: make([]int64, len(svc.Cluster.Nodes)),
+	}
 }
 
 // Node returns the tracker's host.
@@ -57,6 +64,7 @@ func (s *Service) trackerLoop(p *simtime.Proc) {
 // having no free space — allocation simply stops considering it until a
 // later poll gets through, the same degradation a stale free list gives.
 func (t *Tracker) pollOnce(p *simtime.Proc) {
+	m := t.svc.metrics
 	for i := range t.svc.Servers {
 		if t.svc.dead[i] {
 			t.snapshot[i] = 0
@@ -66,12 +74,16 @@ func (t *Tracker) pollOnce(p *simtime.Proc) {
 		if err != nil {
 			t.snapshot[i] = 0
 			t.pollDrops++
+			t.pollDropsNode[i]++
+			m.trackerDrops[i].Inc()
 			continue
 		}
 		t.snapshot[i] = free
 	}
 	t.lastPoll = p.Now()
 	t.polls++
+	m.trackerPolls.Inc()
+	m.trackerLastPoll.Set(int64(t.lastPoll))
 }
 
 // pollServer stats one server over the transport, retrying lost
@@ -86,6 +98,7 @@ func (t *Tracker) pollServer(p *simtime.Proc, node int) (int, error) {
 		if !errors.Is(err, ErrPeerUnreachable) || attempt >= t.svc.Config.RetryLimit {
 			return 0, err
 		}
+		t.svc.metrics.retriesPoll.Inc()
 		p.Sleep(t.svc.Config.RetryBackoff)
 	}
 }
@@ -113,6 +126,7 @@ func (t *Tracker) Query(p *simtime.Proc, from *cluster.Node) []FreeEntry {
 	}
 	t.svc.Cluster.RPC(p, from, t.node, ctlBytes, ctlBytes)
 	t.queries++
+	t.svc.metrics.trackerQueries.Inc()
 	var out []FreeEntry
 	for node, free := range t.snapshot {
 		if free > 0 {
@@ -134,6 +148,16 @@ func (t *Tracker) Stats() (polls, queries int64) { return t.polls, t.queries }
 // PollDrops returns how many per-server polls were lost in the network
 // even after retrying.
 func (t *Tracker) PollDrops() int64 { return t.pollDrops }
+
+// PollDropsFor returns how many of this tracker's lost polls were
+// directed at one node, attributing drops to the unreachable server
+// rather than only to the aggregate.
+func (t *Tracker) PollDropsFor(node int) int64 {
+	if node < 0 || node >= len(t.pollDropsNode) {
+		return 0
+	}
+	return t.pollDropsNode[node]
+}
 
 // LastPoll returns when the snapshot was last refreshed.
 func (t *Tracker) LastPoll() simtime.Time { return t.lastPoll }

@@ -153,7 +153,10 @@ func (c *Client) Close() error {
 }
 
 func (c *Client) limit() int {
-	if c.chunkSize > 0 {
+	// Chunk responses are bounded by the chunk size, but a metrics
+	// exposition can be bigger, so the limit never drops below the
+	// handshake bound.
+	if c.chunkSize+frameSlack > handshakeLimit {
 		return c.chunkSize + frameSlack
 	}
 	return handshakeLimit
@@ -401,6 +404,18 @@ func (c *Client) Stat() (free, total, chunkSize int, err error) {
 	return int(binary.LittleEndian.Uint32(rep.body[0:4])),
 		int(binary.LittleEndian.Uint32(rep.body[4:8])),
 		int(binary.LittleEndian.Uint32(rep.body[8:12])), nil
+}
+
+// Metrics fetches the daemon's metrics registry rendered in the text
+// exposition format. Works against sponge servers and TCP-served
+// trackers alike (both share the daemon core); a pre-metrics peer
+// answers StatusBadRequest, surfaced as ErrBadRequest.
+func (c *Client) Metrics() (string, error) {
+	rep, err := c.do([]byte{OpMetrics}, nil, nil)
+	if err != nil {
+		return "", err
+	}
+	return string(rep.body), nil
 }
 
 // Ping reports whether pid is alive on the server's node.

@@ -74,6 +74,12 @@ const (
 	// StatusBadRequest (their reply to any unknown op), which is also
 	// what a pre-FreeList peer answers — callers degrade gracefully.
 	OpFreeList
+	// OpMetrics asks a daemon for its metrics registry rendered in the
+	// text exposition format. Response: UTF-8 text. Answered by the
+	// daemon core itself, so sponge servers and TCP-served trackers
+	// expose metrics identically; pre-metrics peers answer
+	// StatusBadRequest and scrapers degrade gracefully.
+	OpMetrics
 )
 
 // Status codes.

@@ -2,11 +2,14 @@ package wire
 
 import (
 	"bufio"
+	"bytes"
 	"io"
 	"log"
 	"net"
 	"sync"
 	"time"
+
+	"spongefiles/internal/obs"
 )
 
 // defaultInflight is the default per-connection worker-pool bound: how
@@ -34,6 +37,11 @@ type Options struct {
 	// in-process (simulated) path and the TCP path. Ignored by the
 	// tracker daemon.
 	Liveness Liveness
+	// Metrics, when non-nil, is the registry this daemon instruments
+	// itself into and serves over OpMetrics; nil means a private
+	// registry. Several daemons in one process may share a registry —
+	// their series are distinguished by the listen-address label.
+	Metrics *obs.Registry
 }
 
 func (o Options) inflight() int {
@@ -98,6 +106,16 @@ type daemon struct {
 	mu    sync.Mutex
 	conns map[net.Conn]struct{}
 
+	// metrics is the registry served over OpMetrics; opReqs are the
+	// per-op request counters (indexed by op code), badReqs counts
+	// frames whose op is unknown or empty. All series carry a listen
+	// label so daemons sharing one registry stay distinguishable.
+	metrics   *obs.Registry
+	opReqs    [OpMetrics + 1]*obs.Counter
+	badReqs   *obs.Counter
+	connsSeen *obs.Counter
+	connsOpen *obs.Gauge
+
 	// bufs recycles chunk-size-class request and response buffers so the
 	// steady-state hot path does not allocate.
 	bufs sync.Pool
@@ -110,6 +128,21 @@ type daemon struct {
 // minRecycledBuf is the smallest buffer worth recycling; tiny status
 // responses are cheaper to allocate than to pool.
 const minRecycledBuf = 1 << 10
+
+// opNames maps op codes to the label values used in the daemon's
+// per-op request counters. A blank entry means "not a real op".
+var opNames = [OpMetrics + 1]string{
+	OpAllocWrite: "alloc_write",
+	OpRead:       "read",
+	OpFree:       "free",
+	OpStat:       "stat",
+	OpPing:       "ping",
+	OpRegister:   "register",
+	OpUnregister: "unregister",
+	OpHello:      "hello",
+	OpFreeList:   "free_list",
+	OpMetrics:    "metrics",
+}
 
 // startDaemon listens on addr and begins accepting connections.
 func startDaemon(addr string, opts Options, frameLimit int, helloResp func() []byte, dispatch func([]byte) []byte) (*daemon, error) {
@@ -126,9 +159,43 @@ func startDaemon(addr string, opts Options, frameLimit int, helloResp func() []b
 		conns:      make(map[net.Conn]struct{}),
 		closed:     make(chan struct{}),
 	}
+	d.metrics = opts.Metrics
+	if d.metrics == nil {
+		d.metrics = obs.NewRegistry()
+	}
+	listen := obs.L("listen", ln.Addr().String())
+	for op, name := range opNames {
+		if name == "" {
+			continue
+		}
+		d.opReqs[op] = d.metrics.Counter("spongewire_requests_total", obs.L("op", name), listen)
+	}
+	d.badReqs = d.metrics.Counter("spongewire_bad_requests_total", listen)
+	d.connsSeen = d.metrics.Counter("spongewire_connections_total", listen)
+	d.connsOpen = d.metrics.Gauge("spongewire_open_connections", listen)
 	d.wg.Add(1)
 	go d.acceptLoop()
 	return d, nil
+}
+
+// countOp records one inbound request frame in the per-op counters.
+func (d *daemon) countOp(req []byte) {
+	if len(req) > 0 {
+		if op := int(req[0]); op < len(d.opReqs) && d.opReqs[op] != nil {
+			d.opReqs[op].Inc()
+			return
+		}
+	}
+	d.badReqs.Inc()
+}
+
+// metricsResponse renders the daemon's registry as an OpMetrics reply:
+// a StatusOK byte followed by the text exposition.
+func (d *daemon) metricsResponse() []byte {
+	var b bytes.Buffer
+	b.WriteByte(StatusOK)
+	d.metrics.WriteText(&b)
+	return b.Bytes()
 }
 
 // addr returns the listening address.
@@ -174,6 +241,8 @@ func (d *daemon) acceptLoop() {
 		}
 		d.conns[conn] = struct{}{}
 		d.mu.Unlock()
+		d.connsSeen.Inc()
+		d.connsOpen.Add(1)
 		d.wg.Add(1)
 		go func() {
 			defer d.wg.Done()
@@ -182,6 +251,7 @@ func (d *daemon) acceptLoop() {
 				d.mu.Lock()
 				delete(d.conns, conn)
 				d.mu.Unlock()
+				d.connsOpen.Add(-1)
 			}()
 			d.handle(conn)
 		}()
@@ -233,6 +303,14 @@ func (d *daemon) handle(conn net.Conn) {
 		req, err := readFrame(br, d.frameLimit)
 		if err != nil {
 			return // EOF or protocol violation: drop the connection
+		}
+		d.countOp(req)
+		if len(req) == 1 && req[0] == OpMetrics {
+			d.armWrite(conn)
+			if err := writeFrame(conn, d.metricsResponse()); err != nil {
+				return
+			}
+			continue
 		}
 		if len(req) == 2 && req[0] == OpHello {
 			if req[1] >= ProtocolV2 {
@@ -286,11 +364,17 @@ func (d *daemon) serveV2(conn net.Conn, br *bufio.Reader) {
 			d.recycle(req)
 			return
 		}
+		d.countOp(req)
 		sem <- struct{}{}
 		wg.Add(1)
 		go func(id uint32, req []byte) {
 			defer wg.Done()
-			resp := d.dispatch(req)
+			var resp []byte
+			if len(req) == 1 && req[0] == OpMetrics {
+				resp = d.metricsResponse()
+			} else {
+				resp = d.dispatch(req)
+			}
 			d.recycle(req)
 			err := writeFrameV2(fw, id, resp)
 			d.recycle(resp)

@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 	"errors"
 
+	"spongefiles/internal/obs"
 	"spongefiles/internal/sponge"
 )
 
@@ -44,8 +45,17 @@ func ServeOptions(pool *sponge.Pool, addr string, opts Options) (*Server, error)
 		return nil, err
 	}
 	s.d = d
+	// Pool state rides along in the scrape as live gauges, labeled by
+	// listen address like the daemon's own series.
+	listen := obs.L("listen", d.addr())
+	d.metrics.GaugeFunc("spongewire_pool_free_chunks", func() int64 { return int64(pool.Free()) }, listen)
+	d.metrics.GaugeFunc("spongewire_pool_chunks", func() int64 { return int64(pool.Chunks()) }, listen)
 	return s, nil
 }
+
+// Metrics returns the registry this server instruments itself into (the
+// one passed via Options.Metrics, or its private registry).
+func (s *Server) Metrics() *obs.Registry { return s.d.metrics }
 
 // Addr returns the listening address.
 func (s *Server) Addr() string { return s.d.addr() }

@@ -17,9 +17,11 @@ go test -race -count=1 ./internal/sponge/... ./internal/spill/...
 echo "== allocation-regression guards =="
 # The hot-path guards must hold: O(1) pool alloc/free and steady-state
 # File.Write and windowed File.Read at zero allocations, plus the >=30%
-# macro allocs/op cut.
+# macro allocs/op cut. The obs guards keep counter/gauge/histogram ops
+# and trace-ring appends allocation-free so instrumentation stays off
+# the spill path's alloc budget.
 go test -count=1 -run 'AllocationFree|TestMacroAllocRegressionGuard' \
-	./internal/sponge ./internal/simtime ./internal/bench
+	./internal/sponge ./internal/simtime ./internal/bench ./internal/obs
 
 echo "== readahead sweep smoke + depth-1 seed equivalence =="
 # One tiny depth-sweep iteration over both transports, and the pinned
