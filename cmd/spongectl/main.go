@@ -5,16 +5,20 @@
 //
 //	spongectl serve   [-addr :7070] [-chunk 1048576] [-chunks 1024]
 //	                  [-inflight 16] [-read-timeout 0] [-write-timeout 0]
+//	                  [-local-socket-dir /tmp] [-spill-dir /tmp]
+//	                  [-spill-chunks 0] [-no-zero-copy]
 //	                  [-metrics-addr 127.0.0.1:9090]
 //	spongectl stat    -addr host:port
 //	spongectl stats   [-addrs host:port,...] [-urls http://...,...]
 //	                  [-prefix sponge_,...] [-raw]
 //	spongectl demo    [-chunk 65536] [-chunks 64] [-conns 4]
 //	spongectl cluster [-nodes 3] [-chunks 32] [-mb 200] [-drop 0.1]
-//	                  [-readahead 4] ...
+//	                  [-readahead 4] [-local-socket-dir /tmp] ...
 //
-// "serve" runs a sponge server until interrupted; -metrics-addr adds an
-// HTTP sidecar serving the text exposition on /metrics. "stat" prints a
+// "serve" runs a sponge server until interrupted; -local-socket-dir
+// adds a same-host unix-socket listener, -spill-dir a disk-spill
+// overflow tier served zero-copy, and -metrics-addr an HTTP sidecar
+// serving the text exposition on /metrics. "stat" prints a
 // server's pool state. "stats" scrapes one or more live daemons — over
 // the wire protocol (-addrs) or HTTP (-urls) — and renders an
 // aggregated per-node metrics table (-raw dumps each exposition
@@ -26,8 +30,12 @@
 // SpongeFile spill through the allocator chain so every remote chunk
 // crosses real process boundaries over real TCP; -readahead sets the
 // read-back window depth (up to that many chunk fetches multiplexed
-// over each pipelined connection at once). After the round trip it
-// scrapes every child over OpMetrics and prints the per-node table.
+// over each pipelined connection at once). With -local-socket-dir the
+// children also listen on per-node unix sockets in that directory and
+// the parent's transport auto-discovers the same-host tier, so chunk
+// traffic skips the TCP stack. After the round trip it scrapes every
+// child over OpMetrics and prints the per-node table (including the
+// transport-tier and zero-copy counters).
 package main
 
 import (
@@ -83,8 +91,20 @@ func serveOptions(fs *flag.FlagSet) func() wire.Options {
 	inflight := fs.Int("inflight", 0, "per-connection worker-pool bound (0 = default 16)")
 	readTO := fs.Duration("read-timeout", 0, "per-frame read deadline (0 = none)")
 	writeTO := fs.Duration("write-timeout", 0, "per-write deadline (0 = none)")
+	socketDir := fs.String("local-socket-dir", "", "directory for the same-host unix socket (empty = TCP only)")
+	spillDir := fs.String("spill-dir", "", "directory for the disk-spill overflow file (empty = no disk tier)")
+	spillChunks := fs.Int("spill-chunks", 0, "cap on live disk-spilled chunks (0 = unbounded)")
+	noZC := fs.Bool("no-zero-copy", false, "serve spill-file reads through the portable buffered path")
 	return func() wire.Options {
-		return wire.Options{Inflight: *inflight, ReadTimeout: *readTO, WriteTimeout: *writeTO}
+		return wire.Options{
+			Inflight:       *inflight,
+			ReadTimeout:    *readTO,
+			WriteTimeout:   *writeTO,
+			LocalSocketDir: *socketDir,
+			SpillDir:       *spillDir,
+			SpillChunks:    *spillChunks,
+			NoZeroCopy:     *noZC,
+		}
 	}
 }
 
@@ -105,6 +125,9 @@ func serve(args []string) {
 	}
 	fmt.Printf("sponge server on %s: %d chunks × %d bytes (%d MB pool)\n",
 		srv.Addr(), *chunks, *chunk, *chunks**chunk>>20)
+	if s := srv.LocalSocket(); s != "" {
+		fmt.Printf("local socket %s\n", s)
+	}
 	if *metricsAddr != "" {
 		ln, err := net.Listen("tcp", *metricsAddr)
 		if err != nil {
@@ -260,15 +283,29 @@ func clusterMain(args []string) {
 			cmd.Wait()
 		}
 	}()
+	wopts := opts()
 	for n := 1; n <= *nodes; n++ {
-		cmd := exec.Command(exe, "serve",
+		childArgs := []string{"serve",
 			"-addr", "127.0.0.1:0",
 			"-chunk", fmt.Sprint(svc.ChunkReal()),
 			"-chunks", fmt.Sprint(*chunks),
-			"-inflight", fmt.Sprint(opts().Inflight),
-			"-read-timeout", opts().ReadTimeout.String(),
-			"-write-timeout", opts().WriteTimeout.String(),
-		)
+			"-inflight", fmt.Sprint(wopts.Inflight),
+			"-read-timeout", wopts.ReadTimeout.String(),
+			"-write-timeout", wopts.WriteTimeout.String(),
+		}
+		// Co-located children share the socket directory, so the parent's
+		// transport auto-discovers the same-host tier per child.
+		if wopts.LocalSocketDir != "" {
+			childArgs = append(childArgs, "-local-socket-dir", wopts.LocalSocketDir)
+		}
+		if wopts.SpillDir != "" {
+			childArgs = append(childArgs, "-spill-dir", wopts.SpillDir,
+				"-spill-chunks", fmt.Sprint(wopts.SpillChunks))
+		}
+		if wopts.NoZeroCopy {
+			childArgs = append(childArgs, "-no-zero-copy")
+		}
+		cmd := exec.Command(exe, childArgs...)
 		cmd.Stderr = os.Stderr
 		out, err := cmd.StdoutPipe()
 		if err != nil {
@@ -286,7 +323,10 @@ func clusterMain(args []string) {
 		fmt.Printf("node%d -> child pid %d on %s\n", n, cmd.Process.Pid, addr)
 	}
 
-	var transport sponge.Transport = wire.NewTransport(addrs, svc.Transport())
+	var transport sponge.Transport = wire.NewTransportOptions(addrs, svc.Transport(), wire.TransportOptions{
+		SocketDir: wopts.LocalSocketDir,
+		Metrics:   svc.Metrics(),
+	})
 	var faults *sponge.FaultTransport
 	if *drop > 0 {
 		faults = sponge.NewFaultTransport(transport, sponge.FaultConfig{Seed: *seed, DropRate: *drop})
@@ -351,9 +391,16 @@ func clusterMain(args []string) {
 
 	fmt.Printf("round trip: %d real bytes (%d virtual MB) in %v wall clock\n",
 		len(data), *mb, time.Since(start).Round(time.Millisecond))
-	fmt.Printf("chunks: %d total — %d local mem, %d remote mem over TCP, %d remote FS; %d retries\n",
+	fmt.Printf("chunks: %d total — %d local mem, %d remote mem over the wire, %d remote FS; %d retries\n",
 		stats.Chunks, stats.ByKind[sponge.LocalMem], stats.ByKind[sponge.RemoteMem],
 		stats.ByKind[sponge.RemoteFS], stats.Retries)
+	if tiers, err := obs.ParseText(svc.Metrics().Text()); err == nil {
+		fmt.Printf("transport tiers: %d ops unix, %d tcp, %d sim; %d unix fallbacks\n",
+			tiers[`sponge_transport_tier_total{tier="unix"}`],
+			tiers[`sponge_transport_tier_total{tier="tcp"}`],
+			tiers[`sponge_transport_tier_total{tier="sim"}`],
+			tiers["sponge_transport_unix_fallback_total"])
+	}
 	if faults != nil {
 		fs := faults.Stats()
 		fmt.Printf("faults: %d exchanges, %d dropped, %d fast errors\n",
@@ -397,7 +444,10 @@ func clusterMain(args []string) {
 	fmt.Println()
 	if err := obs.RenderNodeTable(os.Stdout, mnodes,
 		"sponge_spill", "sponge_retries", "sponge_ra_", "sponge_fault",
-		"sponge_candidates", "spongewire_requests_total"); err != nil {
+		"sponge_candidates", "sponge_transport_tier_total",
+		"sponge_transport_unix_fallback_total", "spongewire_requests_total",
+		"spongewire_connections_total", "spongewire_serve_zero_copy_bytes_total",
+		"spongewire_spill_allocs_total"); err != nil {
 		fatal(err)
 	}
 }

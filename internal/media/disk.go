@@ -363,6 +363,19 @@ func (d *Disk) Delete(stream StreamID) {
 	d.flushDone.Broadcast()
 }
 
+// StreamBytes returns the bytes ever written to stream — equivalently,
+// its stable append offset: the next write to the stream lands exactly
+// here. Spill bookkeeping uses this to record where in an
+// append-coalesced spill stream each chunk starts (the offsets a real
+// daemon serves zero-copy); it reads pure accounting and never touches
+// LRU or residency state.
+func (d *Disk) StreamBytes(stream StreamID) int64 {
+	if e, ok := d.entries[stream]; ok {
+		return e.total
+	}
+	return 0
+}
+
 // FullyResident reports whether every byte of the stream is in cache.
 func (d *Disk) FullyResident(stream StreamID) bool {
 	e, ok := d.entries[stream]

@@ -30,6 +30,7 @@ type chunkRef struct {
 	handle  int // pool handle for memory chunks
 	data    []byte
 	size    int
+	off     int64  // stable offset in the spill stream for LocalDisk chunks
 	nonce   uint64 // per-chunk counter sequence when the agent encrypts; 0 = plaintext
 	pending bool   // async write still in flight
 }
@@ -338,8 +339,13 @@ func (f *File) spillNonLocal(p *simtime.Proc, payload []byte) (chunkRef, int) {
 			f.diskStream = f.agent.node.Disk.NewStream()
 			f.hasDisk = true
 		}
+		// Record the chunk's stable offset in the append-coalesced spill
+		// stream before the write moves the cursor: this (offset, size)
+		// pair is the region a real daemon serves zero-copy (sendfile, or
+		// pread by an fd-holding same-host reader).
+		off := f.agent.node.Disk.StreamBytes(f.diskStream)
 		f.agent.node.WriteFile(p, f.diskStream, len(payload))
-		return chunkRef{kind: LocalDisk, data: payload}, retries
+		return chunkRef{kind: LocalDisk, data: payload, off: off}, retries
 	}
 	if f.agent.svc.Config.Remote != nil {
 		if f.remoteSpill == nil {

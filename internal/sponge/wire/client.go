@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 	"net"
+	"os"
 	"sync"
 	"sync/atomic"
 
@@ -25,6 +26,8 @@ type Client struct {
 	fw        *frameWriter
 	chunkSize int
 	version   int
+	network   string // "tcp" or "unix"
+	addr      string // dial address (socket path for "unix")
 
 	// rtmu serializes v1 round trips end to end (lock-step semantics);
 	// unused in v2 mode, where fw alone orders frame writes.
@@ -36,13 +39,23 @@ type Client struct {
 	pending map[uint32]*wireCall
 	cerr    error // sticky transport error; guarded by pmu
 	done    chan struct{}
+
+	// spillF is the server's spill-file descriptor once FetchSpillFD has
+	// passed it over SCM_RIGHTS; spilled chunks are then pread directly.
+	spillF atomic.Pointer[os.File]
 }
 
-// wireCall is one in-flight v2 request awaiting its response.
+// wireCall is one in-flight v2 request awaiting its response. Calls are
+// pooled: each sees exactly one send (from demux or fail) and one
+// receive (its caller), so the channel is reusable.
 type wireCall struct {
 	into []byte // optional destination for the response payload
 	ch   chan wireReply
 }
+
+// callPool recycles wireCalls so the steady-state request path does not
+// allocate a call record and channel per exchange.
+var callPool = sync.Pool{New: func() any { return &wireCall{ch: make(chan wireReply, 1)} }}
 
 // wireReply carries a decoded response (or transport error) to a caller.
 type wireReply struct {
@@ -52,20 +65,31 @@ type wireReply struct {
 	err    error
 }
 
-// Dial connects to a sponge server, negotiates the protocol version,
-// and learns the server's chunk size. A client that cannot learn the
-// chunk size would mis-size its frame limit and reject valid responses,
-// so any failure here is returned rather than papered over.
-func Dial(addr string) (*Client, error) {
-	conn, err := net.Dial("tcp", addr)
+// Dial connects to a sponge server over TCP, negotiates the protocol
+// version, and learns the server's chunk size. A client that cannot
+// learn the chunk size would mis-size its frame limit and reject valid
+// responses, so any failure here is returned rather than papered over.
+func Dial(addr string) (*Client, error) { return dialNet("tcp", addr) }
+
+// DialLocal connects to a same-host sponge server over its unix-domain
+// socket (see Options.LocalSocketDir and SocketPath). The protocol is
+// identical to TCP — framing, pipelining, every op — the connection
+// just skips the TCP stack. Additionally, a local client can call
+// FetchSpillFD to pread disk-spilled chunks directly.
+func DialLocal(socketPath string) (*Client, error) { return dialNet("unix", socketPath) }
+
+func dialNet(network, addr string) (*Client, error) {
+	conn, err := net.Dial(network, addr)
 	if err != nil {
 		return nil, err
 	}
 	c := &Client{
 		conn:    conn,
-		br:      bufio.NewReaderSize(conn, 64<<10),
+		br:      bufio.NewReaderSize(conn, 8<<10),
 		fw:      newFrameWriter(conn, 0),
 		version: ProtocolV1,
+		network: network,
+		addr:    addr,
 	}
 	hello, err := c.hello()
 	if err != nil {
@@ -103,9 +127,11 @@ func DialV1(addr string) (*Client, error) {
 	}
 	c := &Client{
 		conn:    conn,
-		br:      bufio.NewReaderSize(conn, 64<<10),
+		br:      bufio.NewReaderSize(conn, 8<<10),
 		fw:      newFrameWriter(conn, 0),
 		version: ProtocolV1,
+		network: "tcp",
+		addr:    addr,
 	}
 	_, _, size, err := c.Stat()
 	if err != nil {
@@ -142,14 +168,73 @@ func (c *Client) Version() int { return c.version }
 // ChunkSize reports the server's chunk size learned at dial time.
 func (c *Client) ChunkSize() int { return c.chunkSize }
 
-// Close closes the connection and, in v2 mode, waits for the demux
-// goroutine to fail any in-flight requests and exit.
+// Network reports the transport tier this client dialed: "tcp" or
+// "unix".
+func (c *Client) Network() string { return c.network }
+
+// Close closes the connection (and any passed spill-file descriptor)
+// and, in v2 mode, waits for the demux goroutine to fail any in-flight
+// requests and exit.
 func (c *Client) Close() error {
 	err := c.conn.Close()
 	if c.done != nil {
 		<-c.done
 	}
+	if f := c.spillF.Swap(nil); f != nil {
+		f.Close()
+	}
 	return err
+}
+
+// FetchSpillFD asks the server to pass its spill-file descriptor over
+// SCM_RIGHTS, enabling the direct-pread fast path for disk-spilled
+// chunks (ReadInto then never moves spilled bytes through the socket).
+// Only a unix-socket client on a build with fd-passing can succeed;
+// everyone else gets an error and keeps using OpRead, which the server
+// serves zero-copy anyway. The handshake runs on its own short-lived
+// lock-step connection: the descriptor must land exactly on a recvmsg
+// boundary, which the pipelined main connection cannot guarantee.
+func (c *Client) FetchSpillFD() error {
+	if c.network != "unix" || !zeroCopyAvailable {
+		return errZCUnsupported
+	}
+	raw, err := net.Dial("unix", c.addr)
+	if err != nil {
+		return err
+	}
+	defer raw.Close()
+	uc, ok := raw.(*net.UnixConn)
+	if !ok {
+		return errZCUnsupported
+	}
+	f, err := recvFDOverUnix(uc)
+	if err != nil {
+		return err
+	}
+	if old := c.spillF.Swap(f); old != nil {
+		old.Close()
+	}
+	return nil
+}
+
+// HasSpillFD reports whether the direct-pread fast path is armed.
+func (c *Client) HasSpillFD() bool { return c.spillF.Load() != nil }
+
+// SpillLoc resolves a spilled chunk's stable region in the server's
+// spill file. Servers without a spill tier answer ErrBadRequest.
+func (c *Client) SpillLoc(handle int) (off int64, n int, err error) {
+	var head [5]byte
+	head[0] = OpSpillLoc
+	binary.LittleEndian.PutUint32(head[1:], uint32(handle))
+	rep, err := c.do(head[:], nil, nil)
+	if err != nil {
+		return 0, 0, err
+	}
+	if len(rep.body) != 12 {
+		return 0, 0, fmt.Errorf("wire: bad spill-loc response")
+	}
+	return int64(binary.LittleEndian.Uint64(rep.body[0:8])),
+		int(binary.LittleEndian.Uint32(rep.body[8:12])), nil
 }
 
 func (c *Client) limit() int {
@@ -268,12 +353,15 @@ func (c *Client) do(head, payload, into []byte) (wireReply, error) {
 	if c.version < ProtocolV2 {
 		return c.roundTrip(head, payload, into)
 	}
-	call := &wireCall{into: into, ch: make(chan wireReply, 1)}
+	call := callPool.Get().(*wireCall)
+	call.into = into
 	id := c.nextID.Add(1)
 	c.pmu.Lock()
 	if c.cerr != nil {
 		err := c.cerr
 		c.pmu.Unlock()
+		call.into = nil
+		callPool.Put(call)
 		return wireReply{}, err
 	}
 	c.pending[id] = call
@@ -282,6 +370,8 @@ func (c *Client) do(head, payload, into []byte) (wireReply, error) {
 		c.fail(err) // delivers the error to every pending call, ours included
 	}
 	rep := <-call.ch
+	call.into = nil
+	callPool.Put(call)
 	if rep.err != nil {
 		return wireReply{}, rep.err
 	}
@@ -367,12 +457,25 @@ func (c *Client) Read(handle int) ([]byte, error) {
 	return rep.body, nil
 }
 
+// locBufPool recycles the 12-byte destination buffers for the
+// OpSpillLoc exchange on the pread fast path.
+var locBufPool = sync.Pool{New: func() any { b := make([]byte, 12); return &b }}
+
 // ReadInto fetches a chunk's contents directly into buf, avoiding any
 // intermediate allocation (in v2 mode the payload is decoded off the
 // socket straight into buf), and returns the byte count. If buf is too
 // small the call fails with an error wrapping io.ErrShortBuffer; the
 // connection remains usable.
+//
+// A disk-spilled chunk, when the server's spill-file descriptor has
+// been fetched (FetchSpillFD), is pread straight from the file: only
+// the 13-byte OpSpillLoc exchange crosses the socket.
 func (c *Client) ReadInto(handle int, buf []byte) (int, error) {
+	if handle&SpillHandleBit != 0 {
+		if f := c.spillF.Load(); f != nil {
+			return c.preadSpill(f, handle, buf)
+		}
+	}
 	var head [5]byte
 	head[0] = OpRead
 	binary.LittleEndian.PutUint32(head[1:], uint32(handle))
@@ -381,6 +484,35 @@ func (c *Client) ReadInto(handle int, buf []byte) (int, error) {
 		return 0, err
 	}
 	return rep.n, nil
+}
+
+// preadSpill is the fd-passing fast path: resolve the chunk's stable
+// region with OpSpillLoc, then pread it from the passed descriptor.
+func (c *Client) preadSpill(f *os.File, handle int, buf []byte) (int, error) {
+	var head [5]byte
+	head[0] = OpSpillLoc
+	binary.LittleEndian.PutUint32(head[1:], uint32(handle))
+	bp := locBufPool.Get().(*[]byte)
+	rep, err := c.do(head[:], nil, *bp)
+	if err != nil {
+		locBufPool.Put(bp)
+		return 0, err
+	}
+	if rep.n != 12 {
+		locBufPool.Put(bp)
+		return 0, fmt.Errorf("wire: bad spill-loc response")
+	}
+	off := int64(binary.LittleEndian.Uint64((*bp)[0:8]))
+	n := int(binary.LittleEndian.Uint32((*bp)[8:12]))
+	locBufPool.Put(bp)
+	if n > len(buf) {
+		return 0, fmt.Errorf("wire: %w: response is %d bytes, buffer holds %d",
+			io.ErrShortBuffer, n, len(buf))
+	}
+	if _, err := f.ReadAt(buf[:n], off); err != nil {
+		return 0, err
+	}
+	return n, nil
 }
 
 // Free releases a chunk.

@@ -54,8 +54,8 @@ func TestMetricsOverV2(t *testing.T) {
 	if got := samples[`spongewire_pool_free_chunks{listen="`+addr+`"}`]; got != 4 {
 		t.Errorf("pool_free_chunks = %d, want 4", got)
 	}
-	if got := samples[`spongewire_connections_total{listen="`+addr+`"}`]; got != 1 {
-		t.Errorf("connections_total = %d, want 1", got)
+	if got := samples[`spongewire_connections_total{listen="`+addr+`",tier="tcp"}`]; got != 1 {
+		t.Errorf("connections_total{tier=tcp} = %d, want 1", got)
 	}
 }
 

@@ -4,6 +4,16 @@
 // free space, and check task liveness (the paper's sponge server,
 // §3.1.1, as an actual daemon rather than a simulated one).
 //
+// The same protocol runs over two transports. Every daemon listens on
+// TCP; with Options.LocalSocketDir set it additionally listens on a
+// per-node unix-domain socket (SocketPath derives the path from the TCP
+// port), so co-located tasks — many map/reduce tasks per node is the
+// paper's own layout — exchange chunks without the TCP stack. The
+// framing is identical on both; clients pick the tier at dial time
+// (Dial for TCP, DialLocal for the socket) and wire.Transport selects
+// automatically for peers that resolve to the caller's own host,
+// falling back to TCP when the socket is missing or stale.
+//
 // The protocol has two framings, negotiated per connection:
 //
 //	v1 (lock-step):  frame := length(u32 LE, bytes after this field) body
@@ -32,6 +42,7 @@ import (
 	"fmt"
 	"io"
 	"net"
+	"os"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -80,7 +91,32 @@ const (
 	// expose metrics identically; pre-metrics peers answer
 	// StatusBadRequest and scrapers degrade gracefully.
 	OpMetrics
+	// OpSpillLoc asks where a disk-spilled chunk lives in the server's
+	// append-coalesced spill file. Payload: handle (u32, SpillHandleBit
+	// set). Response: offset (u64), length (u32). Clients holding the
+	// spill-file descriptor (OpSpillFD) pread the payload themselves —
+	// the bytes never cross the socket. Servers without a spill tier
+	// answer StatusBadRequest.
+	OpSpillLoc
+	// OpSpillFD asks the server to pass its spill-file descriptor over
+	// SCM_RIGHTS. Only answered on a unix-socket connection, v1-framed,
+	// as the connection's sole exchange: the response frame is
+	// [StatusOK, b] where the final byte b travels in a sendmsg carrying
+	// the descriptor as ancillary data (fd-passing needs a recvmsg
+	// boundary, which the dedicated lock-step connection guarantees).
+	// TCP connections, spill-less servers, and non-linux builds answer a
+	// plain StatusBadRequest frame and callers degrade to OpRead.
+	OpSpillFD
 )
+
+// opMax is the highest op code, sizing per-op tables.
+const opMax = OpSpillFD
+
+// SpillHandleBit distinguishes disk-spilled chunk handles from pool
+// handles in the shared u32 handle space: pool handles index chunk
+// slots (far below 2^31), spill handles index the server's spill-file
+// record table with this bit set.
+const SpillHandleBit = 1 << 31
 
 // Status codes.
 const (
@@ -134,6 +170,16 @@ type frameWriter struct {
 	mu   sync.Mutex
 	q    atomic.Int32 // writers queued or writing
 	err  error        // sticky; guarded by mu
+
+	// zc drives sendfile for file-region payloads; built lazily on the
+	// first such payload, dropped back to nil (with zcOff) when the
+	// connection turns out not to support it. Guarded by mu.
+	zc    *zeroCopier
+	zcOff bool
+
+	// vec is the reusable scratch vector for direct vectored writes;
+	// guarded by mu.
+	vec net.Buffers
 }
 
 func newFrameWriter(conn net.Conn, writeTimeout time.Duration) *frameWriter {
@@ -155,7 +201,7 @@ func (w *frameWriter) writeFrame(hdr, payload []byte) error {
 			// Flush whatever small frames are pending, then hand the
 			// payload straight to the kernel as a vectored write.
 			if err = w.bw.Flush(); err == nil {
-				err = writeFrameVec(w.conn, hdr, payload)
+				err = w.writeFrameVec(hdr, payload)
 			}
 		} else {
 			_, err = w.bw.Write(hdr)
@@ -174,6 +220,97 @@ func (w *frameWriter) writeFrame(hdr, payload []byte) error {
 	return err
 }
 
+// copyBufPool recycles the scratch buffers the buffered fallback uses
+// when a file-region payload cannot go out via sendfile.
+var copyBufPool = sync.Pool{New: func() any { b := make([]byte, 32<<10); return &b }}
+
+// writeFrameFile queues one frame whose payload lives in a file region:
+// the pre-built header (frame header plus status byte) goes through the
+// write buffer, which is then flushed so the payload can follow via
+// sendfile — or, when the connection refuses zero-copy or noZC forces
+// the portable path, via a pooled pread+write loop. Returns the payload
+// bytes that moved zero-copy (0 on the buffered path).
+func (w *frameWriter) writeFrameFile(hdr []byte, fr fileRef, noZC bool) (int64, error) {
+	w.q.Add(1)
+	w.mu.Lock()
+	err := w.err
+	if err == nil && w.wto > 0 {
+		err = w.conn.SetWriteDeadline(time.Now().Add(w.wto))
+	}
+	if err == nil {
+		_, err = w.bw.Write(hdr)
+	}
+	if err == nil {
+		// The payload bypasses the buffer, so everything queued ahead of
+		// it must hit the socket first.
+		err = w.bw.Flush()
+	}
+	var zc int64
+	if err == nil {
+		if !noZC && !w.zcOff {
+			if w.zc == nil {
+				if w.zc = newZeroCopier(w.conn); w.zc == nil {
+					w.zcOff = true
+				}
+			}
+			if w.zc != nil {
+				zc, err = w.zc.sendFile(fr.f, fr.off, fr.n)
+				if err == errZCUnsupported {
+					// First sendfile on this connection refused with no
+					// bytes moved: remember and fall back for good.
+					err = nil
+					w.zc = nil
+					w.zcOff = true
+				}
+			}
+		}
+		if err == nil && zc < fr.n {
+			err = copyFileRange(w.conn, fr.f, fr.off+zc, fr.n-zc)
+		}
+	}
+	w.q.Add(-1)
+	if err != nil && w.err == nil {
+		w.err = err
+	}
+	w.mu.Unlock()
+	return zc, err
+}
+
+// copyFileRange is the portable file-payload path: pread into a pooled
+// scratch buffer, write to the connection, repeat.
+func copyFileRange(dst io.Writer, f *os.File, off, n int64) error {
+	bp := copyBufPool.Get().(*[]byte)
+	defer copyBufPool.Put(bp)
+	buf := *bp
+	for n > 0 {
+		c := int64(len(buf))
+		if c > n {
+			c = n
+		}
+		if _, err := f.ReadAt(buf[:c], off); err != nil {
+			return err
+		}
+		if _, err := dst.Write(buf[:c]); err != nil {
+			return err
+		}
+		off += c
+		n -= c
+	}
+	return nil
+}
+
+// writeFrameV1 sends one v1 length-prefixed frame through a
+// connection's batching writer.
+func writeFrameV1(w *frameWriter, body []byte) error {
+	hp := hdrPool.Get().(*[]byte)
+	hdr := append((*hp)[:0], 0, 0, 0, 0)
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(body)))
+	err := w.writeFrame(hdr, body)
+	*hp = hdr[:0]
+	hdrPool.Put(hp)
+	return err
+}
+
 // writeFrame sends one v1 length-prefixed frame.
 func writeFrame(w io.Writer, body []byte) error {
 	var hdr [4]byte
@@ -187,14 +324,26 @@ func writeFrame(w io.Writer, body []byte) error {
 
 // writeFrameVec sends one frame as a vectored write: hdr already holds
 // the frame header plus any op header; payload rides behind it without
-// being copied into a joint buffer.
-func writeFrameVec(w io.Writer, hdr, payload []byte) error {
+// being copied into a joint buffer. Runs under w.mu (the caller holds
+// it), so the scratch vector can live on the frameWriter — a net.Buffers
+// literal per frame would put two slice headers on the heap every call.
+func (w *frameWriter) writeFrameVec(hdr, payload []byte) error {
 	if len(payload) == 0 {
-		_, err := w.Write(hdr)
+		_, err := w.conn.Write(hdr)
 		return err
 	}
-	bufs := net.Buffers{hdr, payload}
-	_, err := bufs.WriteTo(w)
+	if cap(w.vec) < 2 {
+		w.vec = make(net.Buffers, 0, 2)
+	}
+	w.vec = append(w.vec[:0], hdr, payload)
+	// WriteTo consumes the vector through its pointer receiver — it
+	// advances w.vec past its backing array. Keep a copy of the original
+	// header so the backing survives for the next frame, and drop the
+	// payload references so the pool buffer isn't pinned.
+	save := w.vec
+	_, err := w.vec.WriteTo(w.conn)
+	save[0], save[1] = nil, nil
+	w.vec = save[:0]
 	return err
 }
 
@@ -217,14 +366,20 @@ func readFrame(r io.Reader, limit int) ([]byte, error) {
 
 // readFrameV2Header reads a v2 frame header, returning the body length
 // and request ID. The caller reads the body (it may want to place it in
-// a pooled or caller-supplied buffer).
-func readFrameV2Header(r io.Reader, limit int) (n int, id uint32, err error) {
-	var hdr [8]byte
-	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+// a pooled or caller-supplied buffer). Peek/Discard parse the header in
+// place inside the bufio buffer — a local [8]byte would escape through
+// the io.ReadFull interface call and cost an allocation per frame.
+func readFrameV2Header(r *bufio.Reader, limit int) (n int, id uint32, err error) {
+	hdr, err := r.Peek(8)
+	if err != nil {
+		if err == io.EOF && len(hdr) > 0 {
+			err = io.ErrUnexpectedEOF
+		}
 		return 0, 0, err
 	}
 	n = int(binary.LittleEndian.Uint32(hdr[0:4]))
 	id = binary.LittleEndian.Uint32(hdr[4:8])
+	r.Discard(8)
 	if n > limit {
 		return 0, 0, fmt.Errorf("wire: frame of %d bytes exceeds limit %d", n, limit)
 	}

@@ -1,0 +1,8 @@
+//go:build race
+
+package wire
+
+// raceEnabled reports whether the race detector is instrumenting this
+// build; allocation guards skip under it (the race runtime allocates
+// around socket I/O, so AllocsPerRun measures the detector, not us).
+const raceEnabled = true

@@ -3,9 +3,13 @@ package wire
 import (
 	"bufio"
 	"bytes"
+	"encoding/binary"
+	"fmt"
 	"io"
 	"log"
 	"net"
+	"os"
+	"path/filepath"
 	"sync"
 	"time"
 
@@ -14,14 +18,14 @@ import (
 
 // defaultInflight is the default per-connection worker-pool bound: how
 // many v2 requests one connection may have executing at once. The
-// reader stops pulling frames when all slots are busy, so it doubles as
-// backpressure.
+// reader stops pulling frames when all workers are busy, so it doubles
+// as backpressure.
 const defaultInflight = 16
 
 // Options tunes a wire daemon (the sponge server and the TCP-served
 // tracker share them). The zero value reproduces the historical
-// behaviour: 16 in-flight requests per connection, no I/O deadlines,
-// and an internal liveness registry.
+// behaviour: 16 in-flight requests per connection, no I/O deadlines, an
+// internal liveness registry, TCP only, and no disk-spill tier.
 type Options struct {
 	// Inflight bounds the per-connection worker pool in v2 framing;
 	// 0 means the default (16).
@@ -42,6 +46,25 @@ type Options struct {
 	// registry. Several daemons in one process may share a registry —
 	// their series are distinguished by the listen-address label.
 	Metrics *obs.Registry
+	// LocalSocketDir, when non-empty, adds a same-host listener: a
+	// unix-domain socket at SocketPath(dir, tcpAddr) speaking the exact
+	// same protocol, so co-located clients skip the TCP stack. A stale
+	// socket file from a dead daemon is replaced at startup; the file is
+	// removed again on Close.
+	LocalSocketDir string
+	// SpillDir, when non-empty, gives the sponge server a disk tier: an
+	// append-coalesced spill file in that directory absorbs AllocWrites
+	// that find the memory pool full, and reads of those chunks are
+	// served zero-copy (sendfile on linux, buffered elsewhere). Ignored
+	// by the tracker daemon.
+	SpillDir string
+	// SpillChunks caps the live chunks in the spill file; 0 = unbounded.
+	SpillChunks int
+	// NoZeroCopy forces the portable buffered fallback for spill-file
+	// responses even where sendfile is available, and stops the server
+	// answering OpSpillFD. Benchmark and CI control — it exercises the
+	// non-linux code path on any OS.
+	NoZeroCopy bool
 }
 
 func (o Options) inflight() int {
@@ -49,6 +72,18 @@ func (o Options) inflight() int {
 		return o.Inflight
 	}
 	return defaultInflight
+}
+
+// SocketPath derives the well-known unix-socket path for a daemon from
+// its TCP listen address: "sponge-<port>.sock" under dir. Deriving the
+// name from the port lets a client that only knows a peer's TCP address
+// discover the same-host socket without any extra coordination.
+func SocketPath(dir, tcpAddr string) (string, error) {
+	_, port, err := net.SplitHostPort(tcpAddr)
+	if err != nil {
+		return "", fmt.Errorf("wire: socket path for %q: %w", tcpAddr, err)
+	}
+	return filepath.Join(dir, "sponge-"+port+".sock"), nil
 }
 
 // Liveness is the task-liveness registry a sponge server consults for
@@ -87,21 +122,40 @@ func (m *mapLiveness) Alive(pid uint64) bool {
 	return m.live[pid]
 }
 
+// fileRef points a response's payload at a spill-file region served
+// straight from the descriptor: the status byte travels inline and the
+// n payload bytes go out via sendfile (or the buffered fallback)
+// without ever visiting user space. The zero value means "inline
+// response" — the normal case.
+type fileRef struct {
+	f   *os.File
+	off int64
+	n   int64
+}
+
 // daemon is the connection-serving core shared by the sponge server and
-// the TCP tracker: it accepts connections, runs each in v1 lock-step
+// the TCP tracker: it accepts connections on every listener (TCP,
+// optionally a same-host unix socket), runs each in v1 lock-step
 // framing until an OpHello upgrades it to the pipelined v2 framing, and
 // feeds every request through the owner's dispatch function. Responses
 // may come from the recycled-buffer pool; dispatch results are handed
-// back to recycle after writing.
+// back to recycle after writing. A dispatch may alternatively return a
+// fileRef, in which case the payload is served zero-copy from the file.
 type daemon struct {
-	ln   net.Listener
-	opts Options
+	lns       []net.Listener
+	localPath string // unix socket path, "" when TCP-only
+	opts      Options
 
 	// frameLimit bounds inbound frames; helloResp builds the v1-framed
 	// OpHello reply; dispatch executes one request body.
 	frameLimit int
 	helloResp  func() []byte
-	dispatch   func(req []byte) []byte
+	dispatch   func(req []byte) ([]byte, fileRef)
+	// sendFD, when non-nil, answers OpSpillFD on a unix connection by
+	// passing the spill-file descriptor over SCM_RIGHTS. Wired by the
+	// sponge server when it has a spill tier; nil answers
+	// StatusBadRequest.
+	sendFD func(conn net.Conn) error
 
 	mu    sync.Mutex
 	conns map[net.Conn]struct{}
@@ -111,27 +165,44 @@ type daemon struct {
 	// frames whose op is unknown or empty. All series carry a listen
 	// label so daemons sharing one registry stay distinguishable.
 	metrics   *obs.Registry
-	opReqs    [OpMetrics + 1]*obs.Counter
+	opReqs    [opMax + 1]*obs.Counter
 	badReqs   *obs.Counter
-	connsSeen *obs.Counter
+	connsSeen [2]*obs.Counter // indexed by connTier
 	connsOpen *obs.Gauge
+	zcBytes   *obs.Counter // payload bytes served via sendfile
+	zcFallbk  *obs.Counter // file responses that took the buffered path
 
 	// bufs recycles chunk-size-class request and response buffers so the
-	// steady-state hot path does not allocate.
-	bufs sync.Pool
+	// steady-state hot path does not allocate. small does the same for
+	// header-size exchanges (spill_loc on the fd-passing fast path runs
+	// nothing but 13-byte responses).
+	bufs  sync.Pool
+	small sync.Pool
 
 	wg        sync.WaitGroup
 	closeOnce sync.Once
 	closed    chan struct{}
 }
 
-// minRecycledBuf is the smallest buffer worth recycling; tiny status
-// responses are cheaper to allocate than to pool.
-const minRecycledBuf = 1 << 10
+// connTier indexes connsSeen: which listener a connection arrived on.
+const (
+	connTCP = iota
+	connUnix
+)
+
+// minRecycledBuf is the smallest buffer worth pooling in the chunk
+// class; smallRecycledBuf is the fixed capacity of the small class that
+// keeps header-size requests and responses (≤ 64 bytes: alloc_write and
+// stat replies, spill_loc exchanges) off the allocator too. Buffers
+// between the two classes are cheaper to allocate than to pool.
+const (
+	minRecycledBuf   = 1 << 10
+	smallRecycledBuf = 64
+)
 
 // opNames maps op codes to the label values used in the daemon's
 // per-op request counters. A blank entry means "not a real op".
-var opNames = [OpMetrics + 1]string{
+var opNames = [opMax + 1]string{
 	OpAllocWrite: "alloc_write",
 	OpRead:       "read",
 	OpFree:       "free",
@@ -142,22 +213,46 @@ var opNames = [OpMetrics + 1]string{
 	OpHello:      "hello",
 	OpFreeList:   "free_list",
 	OpMetrics:    "metrics",
+	OpSpillLoc:   "spill_loc",
+	OpSpillFD:    "spill_fd",
 }
 
-// startDaemon listens on addr and begins accepting connections.
-func startDaemon(addr string, opts Options, frameLimit int, helloResp func() []byte, dispatch func([]byte) []byte) (*daemon, error) {
+// startDaemon listens on addr (plus the derived unix socket when
+// opts.LocalSocketDir is set) and begins accepting connections.
+func startDaemon(addr string, opts Options, frameLimit int, helloResp func() []byte, dispatch func([]byte) ([]byte, fileRef)) (*daemon, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, err
 	}
 	d := &daemon{
-		ln:         ln,
+		lns:        []net.Listener{ln},
 		opts:       opts,
 		frameLimit: frameLimit,
 		helloResp:  helloResp,
 		dispatch:   dispatch,
 		conns:      make(map[net.Conn]struct{}),
 		closed:     make(chan struct{}),
+	}
+	if opts.LocalSocketDir != "" {
+		path, err := SocketPath(opts.LocalSocketDir, ln.Addr().String())
+		if err != nil {
+			ln.Close()
+			return nil, err
+		}
+		if err := os.MkdirAll(opts.LocalSocketDir, 0o700); err != nil {
+			ln.Close()
+			return nil, fmt.Errorf("wire: local socket dir: %w", err)
+		}
+		// A crashed daemon leaves its socket file behind; nothing can be
+		// listening on this port-derived path but us, so replace it.
+		os.Remove(path)
+		uln, err := net.Listen("unix", path)
+		if err != nil {
+			ln.Close()
+			return nil, fmt.Errorf("wire: local socket: %w", err)
+		}
+		d.lns = append(d.lns, uln)
+		d.localPath = path
 	}
 	d.metrics = opts.Metrics
 	if d.metrics == nil {
@@ -171,10 +266,15 @@ func startDaemon(addr string, opts Options, frameLimit int, helloResp func() []b
 		d.opReqs[op] = d.metrics.Counter("spongewire_requests_total", obs.L("op", name), listen)
 	}
 	d.badReqs = d.metrics.Counter("spongewire_bad_requests_total", listen)
-	d.connsSeen = d.metrics.Counter("spongewire_connections_total", listen)
+	d.connsSeen[connTCP] = d.metrics.Counter("spongewire_connections_total", obs.L("tier", "tcp"), listen)
+	d.connsSeen[connUnix] = d.metrics.Counter("spongewire_connections_total", obs.L("tier", "unix"), listen)
 	d.connsOpen = d.metrics.Gauge("spongewire_open_connections", listen)
-	d.wg.Add(1)
-	go d.acceptLoop()
+	d.zcBytes = d.metrics.Counter("spongewire_serve_zero_copy_bytes_total", listen)
+	d.zcFallbk = d.metrics.Counter("spongewire_serve_zero_copy_fallback_total", listen)
+	for _, l := range d.lns {
+		d.wg.Add(1)
+		go d.acceptLoop(l)
+	}
 	return d, nil
 }
 
@@ -198,16 +298,24 @@ func (d *daemon) metricsResponse() []byte {
 	return b.Bytes()
 }
 
-// addr returns the listening address.
-func (d *daemon) addr() string { return d.ln.Addr().String() }
+// addr returns the TCP listening address.
+func (d *daemon) addr() string { return d.lns[0].Addr().String() }
 
-// close stops the listener, closes every live connection, and waits for
-// their handlers. Safe to call more than once.
+// localSocket returns the unix socket path, or "" when TCP-only.
+func (d *daemon) localSocket() string { return d.localPath }
+
+// close stops every listener (removing the unix socket file), closes
+// every live connection, and waits for their handlers. Safe to call
+// more than once.
 func (d *daemon) close() error {
 	var err error
 	d.closeOnce.Do(func() {
 		close(d.closed)
-		err = d.ln.Close()
+		for _, ln := range d.lns {
+			if cerr := ln.Close(); cerr != nil && err == nil {
+				err = cerr
+			}
+		}
 		d.mu.Lock()
 		for conn := range d.conns {
 			conn.Close()
@@ -218,10 +326,14 @@ func (d *daemon) close() error {
 	return err
 }
 
-func (d *daemon) acceptLoop() {
+func (d *daemon) acceptLoop(ln net.Listener) {
 	defer d.wg.Done()
+	tier := connTCP
+	if _, ok := ln.(*net.UnixListener); ok {
+		tier = connUnix
+	}
 	for {
-		conn, err := d.ln.Accept()
+		conn, err := ln.Accept()
 		if err != nil {
 			select {
 			case <-d.closed:
@@ -241,7 +353,7 @@ func (d *daemon) acceptLoop() {
 		}
 		d.conns[conn] = struct{}{}
 		d.mu.Unlock()
-		d.connsSeen.Inc()
+		d.connsSeen[tier].Inc()
 		d.connsOpen.Add(1)
 		d.wg.Add(1)
 		go func() {
@@ -258,26 +370,51 @@ func (d *daemon) acceptLoop() {
 	}
 }
 
+// sliceHdrPool recycles the *[]byte boxes that carry buffers through
+// d.bufs. Boxing a local slice header at each recycle (`Put(&b)`) would
+// heap-allocate per request; instead the boxes cycle between the two
+// pools — getBuf unboxes and returns the empty box, recycle takes a box
+// back out to wrap the buffer.
+var sliceHdrPool = sync.Pool{New: func() any { return new([]byte) }}
+
 // getBuf returns a buffer of exactly need bytes, reusing a recycled one
 // when it is big enough. When the pool is empty (or only holds smaller
 // buffers) the fallback allocation is sized to need — the actual chunk
 // length — never to the full chunk size.
 func (d *daemon) getBuf(need int) []byte {
-	if v := d.bufs.Get(); v != nil {
-		if b := *(v.(*[]byte)); cap(b) >= need {
+	pool := &d.bufs
+	if need <= smallRecycledBuf {
+		pool = &d.small
+	}
+	if v := pool.Get(); v != nil {
+		p := v.(*[]byte)
+		b := *p
+		*p = nil
+		sliceHdrPool.Put(p)
+		if cap(b) >= need {
 			return b[:need]
 		}
+	}
+	if need <= smallRecycledBuf {
+		return make([]byte, need, smallRecycledBuf)
 	}
 	return make([]byte, need)
 }
 
-// recycle returns a buffer to the pool for reuse.
+// recycle returns a buffer to its size-class pool for reuse. Buffers
+// between the small and chunk classes are dropped.
 func (d *daemon) recycle(b []byte) {
-	if cap(b) < minRecycledBuf {
+	pool := &d.bufs
+	switch {
+	case cap(b) >= minRecycledBuf:
+	case cap(b) == smallRecycledBuf:
+		pool = &d.small
+	default:
 		return
 	}
-	b = b[:cap(b)]
-	d.bufs.Put(&b)
+	p := sliceHdrPool.Get().(*[]byte)
+	*p = b[:cap(b)]
+	pool.Put(p)
 }
 
 // armRead applies the per-frame read deadline, when configured.
@@ -287,17 +424,38 @@ func (d *daemon) armRead(conn net.Conn) {
 	}
 }
 
-// armWrite applies the write deadline, when configured.
-func (d *daemon) armWrite(conn net.Conn) {
-	if d.opts.WriteTimeout > 0 {
-		conn.SetWriteDeadline(time.Now().Add(d.opts.WriteTimeout))
+// writeFile sends one StatusOK response whose payload lives in the
+// spill file, preferring sendfile and accounting the outcome. The
+// status byte is folded into the header write so the payload needs no
+// user-space staging at all.
+func (d *daemon) writeFile(fw *frameWriter, v2 bool, id uint32, fr fileRef) error {
+	hp := hdrPool.Get().(*[]byte)
+	hdr := (*hp)[:0]
+	if v2 {
+		hdr = append(hdr, 0, 0, 0, 0, 0, 0, 0, 0, StatusOK)
+		binary.LittleEndian.PutUint32(hdr[0:4], uint32(1+fr.n))
+		binary.LittleEndian.PutUint32(hdr[4:8], id)
+	} else {
+		hdr = append(hdr, 0, 0, 0, 0, StatusOK)
+		binary.LittleEndian.PutUint32(hdr[0:4], uint32(1+fr.n))
 	}
+	zc, err := fw.writeFrameFile(hdr, fr, d.opts.NoZeroCopy)
+	*hp = hdr[:0]
+	hdrPool.Put(hp)
+	if zc > 0 {
+		d.zcBytes.Add(zc)
+	} else {
+		d.zcFallbk.Inc()
+	}
+	return err
 }
 
 // handle runs a connection in v1 lock-step framing until it either
-// drops or upgrades itself to v2 via OpHello.
+// drops or upgrades itself to v2 via OpHello. All writes flow through
+// one batching frame writer, shared with the v2 phase.
 func (d *daemon) handle(conn net.Conn) {
 	br := bufio.NewReaderSize(conn, 32<<10)
+	fw := newFrameWriter(conn, d.opts.WriteTimeout)
 	for {
 		d.armRead(conn)
 		req, err := readFrame(br, d.frameLimit)
@@ -306,32 +464,54 @@ func (d *daemon) handle(conn net.Conn) {
 		}
 		d.countOp(req)
 		if len(req) == 1 && req[0] == OpMetrics {
-			d.armWrite(conn)
-			if err := writeFrame(conn, d.metricsResponse()); err != nil {
+			if err := writeFrameV1(fw, d.metricsResponse()); err != nil {
+				return
+			}
+			continue
+		}
+		if len(req) == 1 && req[0] == OpSpillFD {
+			// Descriptor passing happens outside the frame writer: the
+			// exchange owns the connection (lock-step, nothing buffered)
+			// and the final byte must ride its own sendmsg.
+			if d.sendFD != nil && !d.opts.NoZeroCopy {
+				switch err := d.sendFD(conn); err {
+				case nil:
+					continue
+				case errZCUnsupported:
+					// TCP connection or portable build: degrade to the
+					// plain refusal below, stream intact.
+				default:
+					return // a half-written handshake poisons the stream
+				}
+			}
+			if err := writeFrameV1(fw, []byte{StatusBadRequest}); err != nil {
 				return
 			}
 			continue
 		}
 		if len(req) == 2 && req[0] == OpHello {
 			if req[1] >= ProtocolV2 {
-				d.armWrite(conn)
-				if err := writeFrame(conn, d.helloResp()); err != nil {
+				if err := writeFrameV1(fw, d.helloResp()); err != nil {
 					return
 				}
-				d.serveV2(conn, br)
+				d.serveV2(conn, br, fw)
 				return
 			}
 			// A v1 hello keeps v1 framing; any other version we cannot
 			// serve is answered like an unknown op.
-			d.armWrite(conn)
-			if err := writeFrame(conn, []byte{StatusBadRequest}); err != nil {
+			if err := writeFrameV1(fw, []byte{StatusBadRequest}); err != nil {
 				return
 			}
 			continue
 		}
-		resp := d.dispatch(req)
-		d.armWrite(conn)
-		err = writeFrame(conn, resp)
+		resp, fr := d.dispatch(req)
+		if fr.f != nil {
+			if err := d.writeFile(fw, false, 0, fr); err != nil {
+				return
+			}
+			continue
+		}
+		err = writeFrameV1(fw, resp)
 		d.recycle(resp)
 		if err != nil {
 			return
@@ -339,17 +519,33 @@ func (d *daemon) handle(conn net.Conn) {
 	}
 }
 
+// v2req is one pipelined request handed from the connection reader to a
+// worker.
+type v2req struct {
+	id  uint32
+	req []byte
+}
+
 // serveV2 runs a connection in pipelined framing: the reader pulls
-// frames and hands each to a worker (bounded by Options.Inflight);
+// frames and hands each to one of Options.Inflight long-lived workers;
 // workers dispatch and write their response — tagged with the request
 // ID — in completion order through the connection's batching writer,
 // which coalesces small responses into one flush when several workers
-// finish together.
-func (d *daemon) serveV2(conn net.Conn, br *bufio.Reader) {
-	fw := newFrameWriter(conn, d.opts.WriteTimeout)
-	sem := make(chan struct{}, d.opts.inflight())
+// finish together. The workers are spawned once per connection and fed
+// over an unbuffered channel, so the steady state neither allocates nor
+// spawns: the reader blocks handing off when all workers are busy,
+// which is the same backpressure the old per-request semaphore gave.
+func (d *daemon) serveV2(conn net.Conn, br *bufio.Reader, fw *frameWriter) {
+	work := make(chan v2req)
 	var wg sync.WaitGroup
-	defer wg.Wait()
+	for i := 0; i < d.opts.inflight(); i++ {
+		wg.Add(1)
+		go d.v2worker(conn, fw, work, &wg)
+	}
+	defer func() {
+		close(work)
+		wg.Wait()
+	}()
 	for {
 		d.armRead(conn)
 		n, id, err := readFrameV2Header(br, d.frameLimit)
@@ -365,23 +561,31 @@ func (d *daemon) serveV2(conn net.Conn, br *bufio.Reader) {
 			return
 		}
 		d.countOp(req)
-		sem <- struct{}{}
-		wg.Add(1)
-		go func(id uint32, req []byte) {
-			defer wg.Done()
-			var resp []byte
-			if len(req) == 1 && req[0] == OpMetrics {
-				resp = d.metricsResponse()
-			} else {
-				resp = d.dispatch(req)
-			}
-			d.recycle(req)
-			err := writeFrameV2(fw, id, resp)
+		work <- v2req{id: id, req: req}
+	}
+}
+
+// v2worker serves one slot of a connection's pipelined worker pool.
+func (d *daemon) v2worker(conn net.Conn, fw *frameWriter, work chan v2req, wg *sync.WaitGroup) {
+	defer wg.Done()
+	for w := range work {
+		var resp []byte
+		var fr fileRef
+		if len(w.req) == 1 && w.req[0] == OpMetrics {
+			resp = d.metricsResponse()
+		} else {
+			resp, fr = d.dispatch(w.req)
+		}
+		d.recycle(w.req)
+		var err error
+		if fr.f != nil {
+			err = d.writeFile(fw, true, w.id, fr)
+		} else {
+			err = writeFrameV2(fw, w.id, resp)
 			d.recycle(resp)
-			<-sem
-			if err != nil {
-				conn.Close() // unblocks the reader; the connection is gone
-			}
-		}(id, req)
+		}
+		if err != nil {
+			conn.Close() // unblocks the reader; the connection is gone
+		}
 	}
 }

@@ -3,16 +3,18 @@ package wire
 import (
 	"encoding/binary"
 	"errors"
+	"net"
 
 	"spongefiles/internal/obs"
 	"spongefiles/internal/sponge"
 )
 
-// Server serves a node's sponge pool over TCP. The pool is the same
-// structure the in-process allocators use; its internal lock makes the
-// two access paths (shared memory within the process, sockets across
-// machines) safe together, exactly as the paper's mmap-plus-daemon
-// design intends.
+// Server serves a node's sponge pool over TCP (and, with
+// Options.LocalSocketDir, a same-host unix socket). The pool is the
+// same structure the in-process allocators use; its internal lock makes
+// the two access paths (shared memory within the process, sockets
+// across machines) safe together, exactly as the paper's mmap-plus-
+// daemon design intends.
 //
 // Each connection starts in v1 lock-step framing; a client that sends
 // OpHello with version ≥ 2 is switched to the pipelined v2 framing,
@@ -20,10 +22,25 @@ import (
 // and responses (tagged with the request ID) are written back in
 // completion order. The connection machinery itself lives in the
 // daemon type, shared with the TCP tracker.
+//
+// With Options.SpillDir set the server grows the paper's local-disk
+// tier: AllocWrites that find the pool full overflow into an
+// append-coalesced spill file instead of failing, and reads of those
+// chunks are served zero-copy — sendfile from the stable file region on
+// linux, a pooled buffered copy elsewhere. Same-host clients can go one
+// step further: they fetch the spill-file descriptor once over
+// SCM_RIGHTS (OpSpillFD) and pread chunk regions themselves
+// (OpSpillLoc), so spilled bytes never cross the socket at all.
+// Spilled chunks are not owner-tracked: they are freed explicitly like
+// any other chunk, and the file reclaims wholesale when its last
+// record dies.
 type Server struct {
-	pool *sponge.Pool
-	live Liveness
-	d    *daemon
+	pool  *sponge.Pool
+	live  Liveness
+	d     *daemon
+	spill *spillFile // nil without Options.SpillDir
+
+	spillAllocs *obs.Counter
 }
 
 // Serve starts a server for pool on addr (e.g. "127.0.0.1:0") with
@@ -33,23 +50,48 @@ func Serve(pool *sponge.Pool, addr string) (*Server, error) {
 }
 
 // ServeOptions starts a server for pool on addr with explicit tuning:
-// worker-pool bound, I/O deadlines, and optionally an external
-// task-liveness registry shared with the in-process sponge server.
+// worker-pool bound, I/O deadlines, the same-host socket tier, the
+// disk-spill tier, and optionally an external task-liveness registry
+// shared with the in-process sponge server.
 func ServeOptions(pool *sponge.Pool, addr string, opts Options) (*Server, error) {
 	s := &Server{pool: pool, live: opts.Liveness}
 	if s.live == nil {
 		s.live = newMapLiveness()
 	}
+	if opts.SpillDir != "" {
+		sf, err := openSpillFile(opts.SpillDir, opts.SpillChunks)
+		if err != nil {
+			return nil, err
+		}
+		s.spill = sf
+	}
 	d, err := startDaemon(addr, opts, pool.ChunkSize()+frameSlack, s.helloResponse, s.dispatch)
 	if err != nil {
+		if s.spill != nil {
+			s.spill.close()
+		}
 		return nil, err
 	}
 	s.d = d
+	if s.spill != nil {
+		d.sendFD = s.sendSpillFD
+	}
 	// Pool state rides along in the scrape as live gauges, labeled by
 	// listen address like the daemon's own series.
 	listen := obs.L("listen", d.addr())
 	d.metrics.GaugeFunc("spongewire_pool_free_chunks", func() int64 { return int64(pool.Free()) }, listen)
 	d.metrics.GaugeFunc("spongewire_pool_chunks", func() int64 { return int64(pool.Chunks()) }, listen)
+	if s.spill != nil {
+		s.spillAllocs = d.metrics.Counter("spongewire_spill_allocs_total", listen)
+		d.metrics.GaugeFunc("spongewire_spill_chunks", func() int64 {
+			live, _ := s.spill.stats()
+			return int64(live)
+		}, listen)
+		d.metrics.GaugeFunc("spongewire_spill_bytes", func() int64 {
+			_, bytes := s.spill.stats()
+			return bytes
+		}, listen)
+	}
 	return s, nil
 }
 
@@ -57,15 +99,39 @@ func ServeOptions(pool *sponge.Pool, addr string, opts Options) (*Server, error)
 // one passed via Options.Metrics, or its private registry).
 func (s *Server) Metrics() *obs.Registry { return s.d.metrics }
 
-// Addr returns the listening address.
+// Addr returns the TCP listening address.
 func (s *Server) Addr() string { return s.d.addr() }
 
-// Close stops the listener, closes every live connection, and waits for
-// their handlers.
-func (s *Server) Close() error { return s.d.close() }
+// LocalSocket returns the unix-socket path this server also listens on,
+// or "" when it serves TCP only.
+func (s *Server) LocalSocket() string { return s.d.localSocket() }
+
+// Close stops the listeners, closes every live connection, waits for
+// their handlers, and removes the spill file.
+func (s *Server) Close() error {
+	err := s.d.close()
+	if s.spill != nil {
+		if serr := s.spill.close(); err == nil {
+			err = serr
+		}
+	}
+	return err
+}
 
 // TaskAlive reports whether a pid is registered live on this node.
 func (s *Server) TaskAlive(pid uint64) bool { return s.live.Alive(pid) }
+
+// sendSpillFD answers one OpSpillFD exchange: pass the spill-file
+// descriptor over the unix connection's SCM_RIGHTS. Non-unix
+// connections (and non-linux builds, via the stub) degrade to
+// errZCUnsupported, which the daemon answers as StatusBadRequest.
+func (s *Server) sendSpillFD(conn net.Conn) error {
+	uc, ok := conn.(*net.UnixConn)
+	if !ok {
+		return errZCUnsupported
+	}
+	return sendFDOverUnix(uc, int(s.spill.file().Fd()))
+}
 
 // helloResponse builds the v1-framed reply to OpHello: status, version,
 // and the stat triple so v2 dialers skip a round trip.
@@ -81,16 +147,17 @@ func (s *Server) helloResponse() []byte {
 
 // dispatch executes one request and builds the response body. Responses
 // may come from the daemon's buffer pool; callers hand them to recycle
-// after writing.
-func (s *Server) dispatch(req []byte) []byte {
+// after writing. A response whose payload lives in the spill file comes
+// back as a fileRef instead, and the daemon serves it zero-copy.
+func (s *Server) dispatch(req []byte) ([]byte, fileRef) {
 	if len(req) < 1 {
-		return []byte{StatusBadRequest}
+		return []byte{StatusBadRequest}, fileRef{}
 	}
 	op, payload := req[0], req[1:]
 	switch op {
 	case OpAllocWrite:
 		if len(payload) < 12 {
-			return []byte{StatusBadRequest}
+			return []byte{StatusBadRequest}, fileRef{}
 		}
 		owner := sponge.TaskID{
 			Node: int(binary.LittleEndian.Uint32(payload[0:4])),
@@ -99,67 +166,112 @@ func (s *Server) dispatch(req []byte) []byte {
 		if owner.IsZero() {
 			// The zero ID is the pool's free-chunk marker; never accept
 			// it from the network.
-			return []byte{StatusBadRequest}
+			return []byte{StatusBadRequest}, fileRef{}
 		}
 		data := payload[12:]
 		h, err := s.pool.Alloc(owner)
-		if err != nil {
-			return []byte{errStatus(err)}
-		}
-		if err := s.pool.Write(h, data); err != nil {
-			s.pool.FreeChunk(h)
-			return []byte{errStatus(err)}
+		if err == nil {
+			if werr := s.pool.Write(h, data); werr != nil {
+				s.pool.FreeChunk(h)
+				return []byte{errStatus(werr)}, fileRef{}
+			}
+		} else if errors.Is(err, sponge.ErrNoFreeChunk) && s.spill != nil {
+			// Memory pool full: overflow into the disk tier.
+			h, err = s.spill.append(data)
+			if err != nil {
+				return []byte{errStatus(err)}, fileRef{}
+			}
+			s.spillAllocs.Inc()
+		} else {
+			return []byte{errStatus(err)}, fileRef{}
 		}
 		out := make([]byte, 5)
 		out[0] = StatusOK
 		binary.LittleEndian.PutUint32(out[1:], uint32(h))
-		return out
+		return out, fileRef{}
 	case OpRead:
 		if len(payload) != 4 {
-			return []byte{StatusBadRequest}
+			return []byte{StatusBadRequest}, fileRef{}
 		}
 		h := int(binary.LittleEndian.Uint32(payload))
+		if h&SpillHandleBit != 0 {
+			if s.spill == nil {
+				return []byte{StatusBadRequest}, fileRef{}
+			}
+			off, n, err := s.spill.loc(h)
+			if err != nil {
+				return []byte{errStatus(err)}, fileRef{}
+			}
+			return nil, fileRef{f: s.spill.file(), off: off, n: int64(n)}
+		}
 		n, err := s.pool.Length(h)
 		if err != nil {
-			return []byte{errStatus(err)}
+			return []byte{errStatus(err)}, fileRef{}
 		}
 		buf := s.d.getBuf(1 + n)
 		m, err := s.pool.Read(h, buf[1:])
 		if err != nil {
 			s.d.recycle(buf)
-			return []byte{errStatus(err)}
+			return []byte{errStatus(err)}, fileRef{}
 		}
 		buf[0] = StatusOK
-		return buf[:1+m]
+		return buf[:1+m], fileRef{}
 	case OpFree:
 		if len(payload) != 4 {
-			return []byte{StatusBadRequest}
+			return []byte{StatusBadRequest}, fileRef{}
 		}
 		h := int(binary.LittleEndian.Uint32(payload))
+		if h&SpillHandleBit != 0 {
+			if s.spill == nil {
+				return []byte{StatusBadRequest}, fileRef{}
+			}
+			if err := s.spill.freeRec(h); err != nil {
+				return []byte{errStatus(err)}, fileRef{}
+			}
+			return []byte{StatusOK}, fileRef{}
+		}
 		if _, err := s.pool.Length(h); err != nil {
-			return []byte{errStatus(err)}
+			return []byte{errStatus(err)}, fileRef{}
 		}
 		s.pool.FreeChunk(h)
-		return []byte{StatusOK}
+		return []byte{StatusOK}, fileRef{}
+	case OpSpillLoc:
+		if len(payload) != 4 || s.spill == nil {
+			return []byte{StatusBadRequest}, fileRef{}
+		}
+		h := int(binary.LittleEndian.Uint32(payload))
+		if h&SpillHandleBit == 0 {
+			return []byte{StatusBadRequest}, fileRef{}
+		}
+		off, n, err := s.spill.loc(h)
+		if err != nil {
+			return []byte{errStatus(err)}, fileRef{}
+		}
+		// Pooled: this is the fd-passing fast path's per-read exchange.
+		out := s.d.getBuf(13)
+		out[0] = StatusOK
+		binary.LittleEndian.PutUint64(out[1:9], uint64(off))
+		binary.LittleEndian.PutUint32(out[9:13], uint32(n))
+		return out, fileRef{}
 	case OpStat:
 		out := make([]byte, 13)
 		out[0] = StatusOK
 		binary.LittleEndian.PutUint32(out[1:5], uint32(s.pool.Free()))
 		binary.LittleEndian.PutUint32(out[5:9], uint32(s.pool.Chunks()))
 		binary.LittleEndian.PutUint32(out[9:13], uint32(s.pool.ChunkSize()))
-		return out
+		return out, fileRef{}
 	case OpPing:
 		if len(payload) != 8 {
-			return []byte{StatusBadRequest}
+			return []byte{StatusBadRequest}, fileRef{}
 		}
 		alive := byte(0)
 		if s.live.Alive(binary.LittleEndian.Uint64(payload)) {
 			alive = 1
 		}
-		return []byte{StatusOK, alive}
+		return []byte{StatusOK, alive}, fileRef{}
 	case OpRegister, OpUnregister:
 		if len(payload) != 8 {
-			return []byte{StatusBadRequest}
+			return []byte{StatusBadRequest}, fileRef{}
 		}
 		pid := binary.LittleEndian.Uint64(payload)
 		if op == OpRegister {
@@ -167,9 +279,9 @@ func (s *Server) dispatch(req []byte) []byte {
 		} else {
 			s.live.Unregister(pid)
 		}
-		return []byte{StatusOK}
+		return []byte{StatusOK}, fileRef{}
 	}
-	return []byte{StatusBadRequest}
+	return []byte{StatusBadRequest}, fileRef{}
 }
 
 func errStatus(err error) byte {

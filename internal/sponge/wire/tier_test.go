@@ -1,0 +1,596 @@
+package wire
+
+import (
+	"bytes"
+	"errors"
+	"net"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"spongefiles/internal/cluster"
+	"spongefiles/internal/obs"
+	"spongefiles/internal/simtime"
+	"spongefiles/internal/sponge"
+)
+
+// shortSockDir returns a directory for unix sockets kept short enough
+// for the ~108-byte sun_path limit (t.TempDir can exceed it on deeply
+// nested CI workspaces).
+func shortSockDir(t *testing.T) string {
+	t.Helper()
+	dir, err := os.MkdirTemp("", "sp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { os.RemoveAll(dir) })
+	return dir
+}
+
+func startServerOptions(t *testing.T, chunkSize, chunks int, opts Options) *Server {
+	t.Helper()
+	srv, err := ServeOptions(sponge.NewPool(chunkSize, chunks), "127.0.0.1:0", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	return srv
+}
+
+func TestSocketPath(t *testing.T) {
+	p, err := SocketPath("/run/sponge", "10.1.2.3:7070")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p != filepath.Join("/run/sponge", "sponge-7070.sock") {
+		t.Fatalf("SocketPath = %q", p)
+	}
+	if _, err := SocketPath("/run/sponge", "no-port-here"); err == nil {
+		t.Fatal("SocketPath accepted an address without a port")
+	}
+}
+
+// The unix tier speaks the identical protocol: hello negotiation,
+// pipelined v2 exchanges, chunk round trips — just over the socket file.
+func TestUnixTierRoundTrip(t *testing.T) {
+	dir := shortSockDir(t)
+	srv := startServerOptions(t, 4096, 4, Options{LocalSocketDir: dir})
+	if srv.LocalSocket() == "" {
+		t.Fatal("server reports no local socket")
+	}
+	c, err := DialLocal(srv.LocalSocket())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if c.Network() != "unix" {
+		t.Fatalf("Network() = %q, want unix", c.Network())
+	}
+	if c.Version() != ProtocolV2 {
+		t.Fatalf("unix tier negotiated v%d, want v2", c.Version())
+	}
+	data := bytes.Repeat([]byte("local"), 300)
+	h, err := c.AllocWrite(sponge.TaskID{Node: 1, PID: 9}, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 4096)
+	n, err := c.ReadInto(h, buf)
+	if err != nil || !bytes.Equal(buf[:n], data) {
+		t.Fatalf("unix round trip corrupt (n=%d, err=%v)", n, err)
+	}
+	if err := c.Free(h); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Closing the server must remove its socket file, so restarts never
+// trip over their own leftovers.
+func TestCloseRemovesSocketFile(t *testing.T) {
+	dir := shortSockDir(t)
+	srv, err := ServeOptions(sponge.NewPool(1024, 2), "127.0.0.1:0", Options{LocalSocketDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := srv.LocalSocket()
+	if _, err := os.Stat(path); err != nil {
+		t.Fatalf("socket file missing while serving: %v", err)
+	}
+	srv.Close()
+	if _, err := os.Stat(path); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("socket file still present after Close: %v", err)
+	}
+}
+
+// A stale socket file from a crashed daemon must not stop a new daemon
+// on the same port from listening.
+func TestStartupReplacesStaleSocket(t *testing.T) {
+	dir := shortSockDir(t)
+	srv := startServerOptions(t, 1024, 2, Options{LocalSocketDir: dir})
+	stale := srv.LocalSocket()
+	addr := srv.Addr()
+	srv.Close()
+	// Recreate the stale file: a socket nobody listens on.
+	ln, err := net.Listen("unix", stale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln.(*net.UnixListener).SetUnlinkOnClose(false)
+	ln.Close()
+	if _, err := os.Stat(stale); err != nil {
+		t.Fatalf("failed to fabricate stale socket: %v", err)
+	}
+	_, port, _ := net.SplitHostPort(addr)
+	srv2, err := ServeOptions(sponge.NewPool(1024, 2), "127.0.0.1:"+port, Options{LocalSocketDir: dir})
+	if err != nil {
+		t.Fatalf("restart over stale socket: %v", err)
+	}
+	defer srv2.Close()
+	c, err := DialLocal(srv2.LocalSocket())
+	if err != nil {
+		t.Fatalf("dial restarted daemon: %v", err)
+	}
+	c.Close()
+}
+
+// tierSample reads one counter value out of a registry's exposition.
+func tierSample(t *testing.T, reg *obs.Registry, id string) int64 {
+	t.Helper()
+	samples, err := obs.ParseText(reg.Text())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return samples[id]
+}
+
+// The transport auto-selects the unix tier for same-host peers with a
+// live socket, and transparently falls back to TCP — counting the
+// fallback — when the socket is missing or stale.
+func TestTransportTierSelectionAndFallback(t *testing.T) {
+	dir := shortSockDir(t)
+	withSock := startServerOptions(t, 2048, 4, Options{LocalSocketDir: dir})
+	tcpOnly := startServerOptions(t, 2048, 4, Options{}) // no socket in dir
+
+	// Fabricate a stale socket for a third server: the path exists but
+	// nothing listens. The dial fails and the transport degrades to TCP.
+	staleSrv := startServerOptions(t, 2048, 4, Options{})
+	stalePath, err := SocketPath(dir, staleSrv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("unix", stalePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln.(*net.UnixListener).SetUnlinkOnClose(false)
+	ln.Close()
+
+	tr := NewTransportOptions(map[int]string{
+		1: withSock.Addr(),
+		2: tcpOnly.Addr(),
+		3: staleSrv.Addr(),
+	}, nil, TransportOptions{SocketDir: dir})
+	defer tr.Close()
+
+	for node := 1; node <= 3; node++ {
+		if _, err := tr.Peer(node).FreeSpace(nil, nil); err != nil {
+			t.Fatalf("FreeSpace via node %d: %v", node, err)
+		}
+	}
+	reg := tr.Metrics()
+	if got := tierSample(t, reg, `sponge_transport_tier_total{tier="unix"}`); got != 1 {
+		t.Errorf("unix tier ops = %d, want 1", got)
+	}
+	if got := tierSample(t, reg, `sponge_transport_tier_total{tier="tcp"}`); got != 2 {
+		t.Errorf("tcp tier ops = %d, want 2", got)
+	}
+	if got := tierSample(t, reg, `sponge_transport_unix_fallback_total`); got != 2 {
+		t.Errorf("unix fallbacks = %d, want 2 (missing socket + stale socket)", got)
+	}
+}
+
+// Unmapped nodes route to the fallback transport and count as the sim
+// tier.
+func TestTransportSimTierCounting(t *testing.T) {
+	srv := startServerOptions(t, 1024, 2, Options{})
+	inner := stubTransport{}
+	tr := NewTransportOptions(map[int]string{1: srv.Addr()}, inner, TransportOptions{})
+	defer tr.Close()
+	if _, err := tr.Peer(9).FreeSpace(nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tr.Peer(9).FreeSpace(nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	if got := tierSample(t, tr.Metrics(), `sponge_transport_tier_total{tier="sim"}`); got != 2 {
+		t.Errorf("sim tier ops = %d, want 2", got)
+	}
+}
+
+// stubTransport is a minimal fallback for tier-counting tests.
+type stubTransport struct{}
+
+func (stubTransport) Peer(node int) sponge.Peer { return stubPeer{} }
+
+type stubPeer struct{}
+
+func (stubPeer) AllocWrite(*simtime.Proc, *cluster.Node, sponge.TaskID, []byte) (int, error) {
+	return 0, sponge.ErrNoFreeChunk
+}
+func (stubPeer) Read(*simtime.Proc, *cluster.Node, int, []byte) (int, error) { return 0, nil }
+func (stubPeer) Free(*simtime.Proc, *cluster.Node, int) error                { return nil }
+func (stubPeer) FreeSpace(*simtime.Proc, *cluster.Node) (int, error)         { return 7, nil }
+func (stubPeer) TaskAlive(*simtime.Proc, *cluster.Node, int64) (bool, error) { return true, nil }
+
+// fillPool exhausts the server's memory pool so subsequent AllocWrites
+// overflow into the spill tier, returning the pool handles.
+func fillPool(t *testing.T, c *Client, owner sponge.TaskID, chunk, chunks int) []int {
+	t.Helper()
+	handles := make([]int, 0, chunks)
+	for i := 0; i < chunks; i++ {
+		h, err := c.AllocWrite(owner, bytes.Repeat([]byte{byte(i + 1)}, chunk))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if h&SpillHandleBit != 0 {
+			t.Fatalf("pool alloc %d came back as spill handle %#x", i, h)
+		}
+		handles = append(handles, h)
+	}
+	return handles
+}
+
+// A full pool overflows into the spill file; spilled chunks read back
+// intact (the sendfile serve path on linux, the pooled buffered path
+// elsewhere or under NoZeroCopy) and their frees reclaim the file.
+func TestSpillOverflowRoundTrip(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		opts Options
+	}{
+		{"zerocopy", Options{}},
+		{"portable", Options{NoZeroCopy: true}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			opts := tc.opts
+			opts.SpillDir = t.TempDir()
+			srv := startServerOptions(t, 2048, 2, opts)
+			c, err := Dial(srv.Addr())
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer c.Close()
+			owner := sponge.TaskID{Node: 1, PID: 11}
+			poolHandles := fillPool(t, c, owner, 2048, 2)
+
+			var spilled []int
+			var payloads [][]byte
+			for i := 0; i < 3; i++ {
+				data := bytes.Repeat([]byte{byte(0x40 + i)}, 2048-i*17)
+				h, err := c.AllocWrite(owner, data)
+				if err != nil {
+					t.Fatalf("overflow alloc %d: %v", i, err)
+				}
+				if h&SpillHandleBit == 0 {
+					t.Fatalf("overflow alloc %d got pool handle %#x, want spill", i, h)
+				}
+				spilled = append(spilled, h)
+				payloads = append(payloads, data)
+			}
+			// Both read forms: exact-size allocation and zero-copy into.
+			buf := make([]byte, 2048)
+			for i, h := range spilled {
+				got, err := c.Read(h)
+				if err != nil || !bytes.Equal(got, payloads[i]) {
+					t.Fatalf("spill read %d corrupt (err=%v, %d bytes)", i, err, len(got))
+				}
+				n, err := c.ReadInto(h, buf)
+				if err != nil || !bytes.Equal(buf[:n], payloads[i]) {
+					t.Fatalf("spill ReadInto %d corrupt (err=%v)", i, err)
+				}
+				off, ln, err := c.SpillLoc(h)
+				if err != nil || ln != len(payloads[i]) || off < 0 {
+					t.Fatalf("SpillLoc %d = (%d, %d, %v)", i, off, ln, err)
+				}
+			}
+			for _, h := range append(poolHandles, spilled...) {
+				if err := c.Free(h); err != nil {
+					t.Fatal(err)
+				}
+			}
+			// All records freed: the file truncates back to zero.
+			if live, bytes := srv.spill.stats(); live != 0 || bytes != 0 {
+				t.Fatalf("spill file not reclaimed: %d live, %d bytes", live, bytes)
+			}
+			// Reading a freed spill handle fails cleanly.
+			if _, err := c.Read(spilled[0]); !errors.Is(err, ErrNoFreeChunk) {
+				t.Fatalf("read of freed spill chunk = %v, want ErrNoFreeChunk", err)
+			}
+
+			samples, err := obs.ParseText(srv.Metrics().Text())
+			if err != nil {
+				t.Fatal(err)
+			}
+			listen := `{listen="` + srv.Addr() + `"}`
+			zc := samples["spongewire_serve_zero_copy_bytes_total"+listen]
+			fb := samples["spongewire_serve_zero_copy_fallback_total"+listen]
+			if tc.opts.NoZeroCopy || !zeroCopyAvailable {
+				if zc != 0 || fb == 0 {
+					t.Errorf("portable path: zero_copy_bytes=%d fallback=%d, want 0 and >0", zc, fb)
+				}
+			} else if zc == 0 {
+				t.Errorf("zero-copy path served no bytes (fallback=%d)", fb)
+			}
+			if samples["spongewire_spill_allocs_total"+listen] != 3 {
+				t.Errorf("spill allocs = %d, want 3", samples["spongewire_spill_allocs_total"+listen])
+			}
+		})
+	}
+}
+
+// SpillChunks caps the disk tier: overflow past the cap surfaces
+// ErrNoFreeChunk just like a full pool with no spill file.
+func TestSpillChunkCap(t *testing.T) {
+	srv := startServerOptions(t, 1024, 1, Options{SpillDir: t.TempDir(), SpillChunks: 1})
+	c, err := Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	owner := sponge.TaskID{Node: 1, PID: 5}
+	fillPool(t, c, owner, 1024, 1)
+	if _, err := c.AllocWrite(owner, []byte("spill-1")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.AllocWrite(owner, []byte("spill-2")); !errors.Is(err, ErrNoFreeChunk) {
+		t.Fatalf("alloc past spill cap = %v, want ErrNoFreeChunk", err)
+	}
+}
+
+// The fd-passing fast path: a unix-tier client fetches the spill-file
+// descriptor once and preads spilled chunks directly.
+func TestSpillFDPassing(t *testing.T) {
+	if !zeroCopyAvailable {
+		t.Skip("fd passing needs the linux build")
+	}
+	dir := shortSockDir(t)
+	srv := startServerOptions(t, 2048, 1, Options{LocalSocketDir: dir, SpillDir: t.TempDir()})
+	c, err := DialLocal(srv.LocalSocket())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	owner := sponge.TaskID{Node: 1, PID: 21}
+	fillPool(t, c, owner, 2048, 1)
+	data := bytes.Repeat([]byte("fdpass"), 300)
+	h, err := c.AllocWrite(owner, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h&SpillHandleBit == 0 {
+		t.Fatalf("alloc got pool handle %#x, want spill", h)
+	}
+	if err := c.FetchSpillFD(); err != nil {
+		t.Fatalf("FetchSpillFD over unix: %v", err)
+	}
+	if !c.HasSpillFD() {
+		t.Fatal("HasSpillFD = false after successful fetch")
+	}
+	buf := make([]byte, 2048)
+	n, err := c.ReadInto(h, buf)
+	if err != nil || !bytes.Equal(buf[:n], data) {
+		t.Fatalf("pread fast path corrupt (n=%d, err=%v)", n, err)
+	}
+	// The payload never crossed the socket: the server saw a spill_loc
+	// request, not a read, for the fast-path fetch.
+	samples, err := obs.ParseText(srv.Metrics().Text())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := samples[reqID(srv.Addr(), "spill_loc")]; got != 1 {
+		t.Errorf("spill_loc requests = %d, want 1", got)
+	}
+	if got := samples[reqID(srv.Addr(), "read")]; got != 0 {
+		t.Errorf("read requests = %d, want 0 (payload must not cross the socket)", got)
+	}
+	if err := c.Free(h); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// A TCP client cannot receive a descriptor; the handshake degrades to a
+// clean error and the connection-independent state stays usable.
+func TestSpillFDRefusedOverTCP(t *testing.T) {
+	srv := startServerOptions(t, 1024, 2, Options{SpillDir: t.TempDir()})
+	c, err := Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.FetchSpillFD(); err == nil {
+		t.Fatal("FetchSpillFD over TCP succeeded, want error")
+	}
+	if c.HasSpillFD() {
+		t.Fatal("HasSpillFD = true over TCP")
+	}
+	if _, _, _, err := c.Stat(); err != nil {
+		t.Fatalf("client unusable after refused fd fetch: %v", err)
+	}
+}
+
+// A raw OpSpillFD frame against a spill-less (or NoZeroCopy) server
+// must answer StatusBadRequest rather than poison the stream.
+func TestSpillFDBadRequestKeepsStream(t *testing.T) {
+	dir := shortSockDir(t)
+	srv := startServerOptions(t, 1024, 2, Options{LocalSocketDir: dir}) // no SpillDir
+	conn, err := net.Dial("unix", srv.LocalSocket())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if err := writeFrame(conn, []byte{OpSpillFD}); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := readFrame(conn, handshakeLimit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp) != 1 || resp[0] != StatusBadRequest {
+		t.Fatalf("OpSpillFD on spill-less server = %v, want [StatusBadRequest]", resp)
+	}
+	// The same connection still serves normal v1 requests.
+	if err := writeFrame(conn, []byte{OpStat}); err != nil {
+		t.Fatal(err)
+	}
+	if resp, err = readFrame(conn, handshakeLimit); err != nil || len(resp) != 13 || resp[0] != StatusOK {
+		t.Fatalf("stat after refused OpSpillFD = (%v, %v)", resp, err)
+	}
+}
+
+// The fault stream is a function of (seed, exchange order) only: the
+// same seeded FaultTransport wrapped around the unix tier and the TCP
+// tier injects bit-identical faults.
+func TestFaultStreamIdenticalAcrossTiers(t *testing.T) {
+	dir := shortSockDir(t)
+	run := func(socketDir string, wantTier string) []bool {
+		srv := startServerOptions(t, 1024, 4, Options{LocalSocketDir: dir})
+		tr := NewTransportOptions(map[int]string{1: srv.Addr()}, nil,
+			TransportOptions{SocketDir: socketDir})
+		defer tr.Close()
+		ft := sponge.NewFaultTransport(tr, sponge.FaultConfig{
+			Seed: 42, DropRate: 0.4, Timeout: simtime.Millisecond,
+		})
+		cfg := cluster.PaperConfig()
+		cfg.Workers = 2
+		sim := simtime.New()
+		cl := cluster.New(sim, cfg)
+		var pattern []bool
+		sim.Spawn("drive", func(p *simtime.Proc) {
+			peer := ft.Peer(1)
+			for i := 0; i < 64; i++ {
+				_, err := peer.FreeSpace(p, cl.Nodes[0])
+				pattern = append(pattern, err == nil)
+			}
+		})
+		sim.MustRun()
+		if got := tierSample(t, tr.Metrics(), `sponge_transport_tier_total{tier="`+wantTier+`"}`); got == 0 {
+			t.Fatalf("no operations on the %s tier", wantTier)
+		}
+		return pattern
+	}
+	overUnix := run(dir, "unix")
+	overTCP := run("", "tcp")
+	if len(overUnix) != len(overTCP) {
+		t.Fatalf("pattern lengths differ: %d vs %d", len(overUnix), len(overTCP))
+	}
+	drops := 0
+	for i := range overUnix {
+		if overUnix[i] != overTCP[i] {
+			t.Fatalf("fault stream diverged at exchange %d: unix=%v tcp=%v",
+				i, overUnix[i], overTCP[i])
+		}
+		if !overUnix[i] {
+			drops++
+		}
+	}
+	if drops == 0 {
+		t.Fatal("drop rate 0.4 over 64 exchanges injected nothing; seeded stream broken")
+	}
+}
+
+// Steady-state chunk reads over the wire — pool chunks over both tiers,
+// and spilled chunks over every serve path — must not allocate once
+// warm, client or server side (the server runs in-process, so
+// AllocsPerRun sees its worker pool too).
+func TestWireReadSteadyStateAllocationFree(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race-runtime allocations around socket I/O would drown the guard")
+	}
+	dir := shortSockDir(t)
+	const chunk = 64 << 10
+	for _, tc := range []struct {
+		name string
+		opts Options
+		dial func(*Server) (*Client, error)
+		arm  func(*Client) // optional extra setup (fd passing)
+	}{
+		{"tcp", Options{SpillDir: ""}, func(s *Server) (*Client, error) { return Dial(s.Addr()) }, nil},
+		{"unix", Options{LocalSocketDir: dir}, func(s *Server) (*Client, error) { return DialLocal(s.LocalSocket()) }, nil},
+		{"spill-serve", Options{SpillDir: os.TempDir()}, func(s *Server) (*Client, error) { return Dial(s.Addr()) }, nil},
+		{"spill-portable", Options{SpillDir: os.TempDir(), NoZeroCopy: true}, func(s *Server) (*Client, error) { return Dial(s.Addr()) }, nil},
+		{"spill-fdpass", Options{LocalSocketDir: dir, SpillDir: os.TempDir()},
+			func(s *Server) (*Client, error) { return DialLocal(s.LocalSocket()) },
+			func(c *Client) { c.FetchSpillFD() }},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			spill := tc.opts.SpillDir != ""
+			poolChunks := 4
+			if spill {
+				poolChunks = 1
+			}
+			srv := startServerOptions(t, chunk, poolChunks, tc.opts)
+			c, err := tc.dial(srv)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer c.Close()
+			owner := sponge.TaskID{Node: 1, PID: 31}
+			data := bytes.Repeat([]byte{0xA5}, chunk)
+			var h int
+			if spill {
+				fillPool(t, c, owner, chunk, poolChunks)
+				if h, err = c.AllocWrite(owner, data); err != nil {
+					t.Fatal(err)
+				}
+				if h&SpillHandleBit == 0 {
+					t.Fatal("expected a spill handle")
+				}
+			} else if h, err = c.AllocWrite(owner, data); err != nil {
+				t.Fatal(err)
+			}
+			if tc.arm != nil {
+				tc.arm(c)
+			}
+			buf := make([]byte, chunk)
+			readChunk := func() {
+				if n, err := c.ReadInto(h, buf); err != nil || n != chunk {
+					t.Fatalf("ReadInto = (%d, %v)", n, err)
+				}
+			}
+			for i := 0; i < 50; i++ {
+				readChunk() // warm every pool: buffers, calls, headers
+			}
+			if avg := testing.AllocsPerRun(100, readChunk); avg != 0 {
+				t.Errorf("steady-state %s ReadInto allocates %.2f objects per chunk, want 0",
+					tc.name, avg)
+			}
+		})
+	}
+}
+
+// The OpMetrics exposition must include the tier-labeled connection
+// counters so spongectl stats can render the tier split per node.
+func TestMetricsExposeTierSeries(t *testing.T) {
+	dir := shortSockDir(t)
+	srv := startServerOptions(t, 1024, 2, Options{LocalSocketDir: dir, SpillDir: t.TempDir()})
+	c, err := DialLocal(srv.LocalSocket())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	text, err := c.Metrics()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		`spongewire_connections_total{listen="` + srv.Addr() + `",tier="unix"} 1`,
+		"spongewire_serve_zero_copy_bytes_total",
+		"spongewire_spill_chunks",
+		"spongewire_spill_bytes",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("exposition missing %q\n%s", want, text)
+		}
+	}
+}

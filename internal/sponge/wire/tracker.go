@@ -198,16 +198,16 @@ func (ts *TrackerServer) helloResponse() []byte {
 	return out
 }
 
-func (ts *TrackerServer) dispatch(req []byte) []byte {
+func (ts *TrackerServer) dispatch(req []byte) ([]byte, fileRef) {
 	if len(req) < 1 {
-		return []byte{StatusBadRequest}
+		return []byte{StatusBadRequest}, fileRef{}
 	}
 	switch req[0] {
 	case OpStat:
 		out := make([]byte, 13)
 		out[0] = StatusOK
 		binary.LittleEndian.PutUint32(out[1:5], uint32(ts.t.totalFree()))
-		return out
+		return out, fileRef{}
 	case OpFreeList:
 		entries := ts.t.Query()
 		out := make([]byte, 3, 3+len(entries)*16)
@@ -220,9 +220,9 @@ func (ts *TrackerServer) dispatch(req []byte) []byte {
 			out = append(out, fixed[:]...)
 			out = append(out, e.Addr...)
 		}
-		return out
+		return out, fileRef{}
 	}
-	return []byte{StatusBadRequest}
+	return []byte{StatusBadRequest}, fileRef{}
 }
 
 // FreeList queries a TCP-served tracker for its latest free list, most

@@ -4,9 +4,11 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"net"
 	"sync"
 
 	"spongefiles/internal/cluster"
+	"spongefiles/internal/obs"
 	"spongefiles/internal/simtime"
 	"spongefiles/internal/sponge"
 )
@@ -29,28 +31,126 @@ import (
 // The simtime.Proc threaded through the Peer methods is not charged:
 // time spent here is real wall-clock time on the sockets, not simulated
 // time.
+// A mapped node is reached through one of two wire tiers, picked at
+// dial time: when TransportOptions.SocketDir is set and the node's
+// address resolves to this host, the transport dials the server's
+// unix-domain socket (same protocol, no TCP stack) and — where the
+// build supports it — fetches the spill-file descriptor so disk-spilled
+// chunks are pread directly; otherwise, or when the socket dial fails
+// (missing or stale socket file), it transparently falls back to TCP
+// and counts the fallback. Per-op tier usage is exported as
+// sponge_transport_tier_total{tier="unix|tcp|sim"}.
 type Transport struct {
 	fallback sponge.Transport
+	opts     TransportOptions
 
-	mu      sync.Mutex
-	addrs   map[int]string
-	clients map[int]*Client
-	closed  bool
+	mu       sync.Mutex
+	addrs    map[int]string
+	clients  map[int]*Client
+	simPeers map[int]sponge.Peer
+	closed   bool
+
+	metrics      *obs.Registry
+	tierOps      [3]*obs.Counter // indexed by tierUnix/tierTCP/tierSim
+	unixFallback *obs.Counter
+}
+
+// tier indexes for Transport.tierOps.
+const (
+	tierUnix = iota
+	tierTCP
+	tierSim
+)
+
+// TransportOptions tunes the wire transport's tier selection.
+type TransportOptions struct {
+	// SocketDir, when non-empty, enables the same-host tier: peers whose
+	// address resolves to this host are dialed at
+	// SocketPath(SocketDir, addr), falling back to TCP when the socket
+	// is missing or stale. It must match the servers'
+	// Options.LocalSocketDir.
+	SocketDir string
+	// NoFDPass disables fetching the spill-file descriptor on unix-tier
+	// connections; spilled chunks then travel over the socket (served
+	// zero-copy by the daemon) instead of being pread directly.
+	NoFDPass bool
+	// Metrics, when non-nil, receives the transport's tier counters;
+	// nil means a private registry.
+	Metrics *obs.Registry
 }
 
 // NewTransport builds a transport routing each node in addrs over TCP
 // and every other node through fallback (which may be nil to make
 // unmapped nodes unreachable).
 func NewTransport(addrs map[int]string, fallback sponge.Transport) *Transport {
+	return NewTransportOptions(addrs, fallback, TransportOptions{})
+}
+
+// NewTransportOptions builds a transport with explicit tier tuning.
+func NewTransportOptions(addrs map[int]string, fallback sponge.Transport, opts TransportOptions) *Transport {
 	a := make(map[int]string, len(addrs))
 	for node, addr := range addrs {
 		a[node] = addr
 	}
-	return &Transport{
+	t := &Transport{
 		fallback: fallback,
+		opts:     opts,
 		addrs:    a,
 		clients:  make(map[int]*Client),
+		simPeers: make(map[int]sponge.Peer),
+		metrics:  opts.Metrics,
 	}
+	if t.metrics == nil {
+		t.metrics = obs.NewRegistry()
+	}
+	t.tierOps[tierUnix] = t.metrics.Counter("sponge_transport_tier_total", obs.L("tier", "unix"))
+	t.tierOps[tierTCP] = t.metrics.Counter("sponge_transport_tier_total", obs.L("tier", "tcp"))
+	t.tierOps[tierSim] = t.metrics.Counter("sponge_transport_tier_total", obs.L("tier", "sim"))
+	t.unixFallback = t.metrics.Counter("sponge_transport_unix_fallback_total")
+	return t
+}
+
+// Metrics returns the registry holding the transport's tier counters
+// (the one passed via TransportOptions.Metrics, or its private one).
+func (t *Transport) Metrics() *obs.Registry { return t.metrics }
+
+// localAddrSet caches this host's interface addresses for tier
+// selection; built once — interface churn mid-run only costs a peer the
+// fast tier, never correctness, since a failed socket dial falls back.
+var (
+	localAddrOnce sync.Once
+	localAddrs    map[string]bool
+)
+
+// isLocalHost reports whether host names this machine: loopback,
+// "localhost", or any address bound to a local interface. Non-IP
+// hostnames other than "localhost" are not resolved — DNS in the dial
+// path would stall every first contact; such deployments simply use
+// TCP.
+func isLocalHost(host string) bool {
+	if host == "" || host == "localhost" {
+		return true
+	}
+	ip := net.ParseIP(host)
+	if ip == nil {
+		return false
+	}
+	if ip.IsLoopback() || ip.IsUnspecified() {
+		return true
+	}
+	localAddrOnce.Do(func() {
+		localAddrs = make(map[string]bool)
+		addrs, err := net.InterfaceAddrs()
+		if err != nil {
+			return
+		}
+		for _, a := range addrs {
+			if ipn, ok := a.(*net.IPNet); ok {
+				localAddrs[ipn.IP.String()] = true
+			}
+		}
+	})
+	return localAddrs[ip.String()]
 }
 
 // Close drops every cached client. Subsequent operations fail as
@@ -71,15 +171,58 @@ func (t *Transport) Close() error {
 }
 
 // Peer returns the handle on a node's sponge server: a wire peer for
-// mapped nodes, the fallback transport's peer otherwise.
+// mapped nodes, the fallback transport's peer (wrapped to count the
+// "sim" tier) otherwise.
 func (t *Transport) Peer(node int) sponge.Peer {
 	t.mu.Lock()
 	_, mapped := t.addrs[node]
-	t.mu.Unlock()
 	if !mapped && t.fallback != nil {
-		return t.fallback.Peer(node)
+		// Cache the counting wrapper per node so repeated Peer calls on
+		// hot paths stay allocation-free.
+		p := t.simPeers[node]
+		if p == nil {
+			p = countingPeer{p: t.fallback.Peer(node), ops: t.tierOps[tierSim]}
+			t.simPeers[node] = p
+		}
+		t.mu.Unlock()
+		return p
 	}
+	t.mu.Unlock()
 	return wirePeer{t: t, node: node}
+}
+
+// dialNode connects to one mapped node, preferring the same-host unix
+// tier when configured and the address is local. A unix dial that fails
+// (socket missing, stale, or refused) counts one fallback and degrades
+// to TCP — the two tiers speak the same protocol, so nothing above
+// notices.
+func (t *Transport) dialNode(addr string) (*Client, error) {
+	if t.opts.SocketDir != "" {
+		if host, _, err := net.SplitHostPort(addr); err == nil && isLocalHost(host) {
+			if path, perr := SocketPath(t.opts.SocketDir, addr); perr == nil {
+				if c, derr := DialLocal(path); derr == nil {
+					if !t.opts.NoFDPass {
+						// Best-effort: a server without a spill tier (or a
+						// portable build) just keeps serving spilled reads
+						// over the socket.
+						c.FetchSpillFD()
+					}
+					return c, nil
+				}
+				t.unixFallback.Inc()
+			}
+		}
+	}
+	return Dial(addr)
+}
+
+// countOp records one peer operation in the tier counters.
+func (t *Transport) countOp(c *Client) {
+	if c.network == "unix" {
+		t.tierOps[tierUnix].Inc()
+	} else {
+		t.tierOps[tierTCP].Inc()
+	}
 }
 
 // client returns the cached pipelined client for a node, dialing on
@@ -99,7 +242,7 @@ func (t *Transport) client(node int) (*Client, error) {
 	if !mapped {
 		return nil, fmt.Errorf("%w: no wire address for node %d", sponge.ErrPeerUnreachable, node)
 	}
-	c, err := Dial(addr)
+	c, err := t.dialNode(addr)
 	if err != nil {
 		return nil, fmt.Errorf("%w: dial node %d: %v", sponge.ErrPeerUnreachable, node, err)
 	}
@@ -159,6 +302,7 @@ func (wp wirePeer) AllocWrite(p *simtime.Proc, from *cluster.Node, owner sponge.
 	if err != nil {
 		return 0, err
 	}
+	wp.t.countOp(c)
 	h, err := c.AllocWrite(owner, data)
 	if err != nil {
 		return 0, wp.t.mapErr(wp.node, c, err)
@@ -171,6 +315,7 @@ func (wp wirePeer) Read(p *simtime.Proc, to *cluster.Node, handle int, buf []byt
 	if err != nil {
 		return 0, err
 	}
+	wp.t.countOp(c)
 	n, err := c.ReadInto(handle, buf)
 	if err != nil {
 		return 0, wp.t.mapErr(wp.node, c, err)
@@ -183,6 +328,7 @@ func (wp wirePeer) Free(p *simtime.Proc, from *cluster.Node, handle int) error {
 	if err != nil {
 		return err
 	}
+	wp.t.countOp(c)
 	if err := c.Free(handle); err != nil {
 		return wp.t.mapErr(wp.node, c, err)
 	}
@@ -194,6 +340,7 @@ func (wp wirePeer) FreeSpace(p *simtime.Proc, from *cluster.Node) (int, error) {
 	if err != nil {
 		return 0, err
 	}
+	wp.t.countOp(c)
 	free, _, _, err := c.Stat()
 	if err != nil {
 		return 0, wp.t.mapErr(wp.node, c, err)
@@ -206,9 +353,43 @@ func (wp wirePeer) TaskAlive(p *simtime.Proc, from *cluster.Node, pid int64) (bo
 	if err != nil {
 		return false, err
 	}
+	wp.t.countOp(c)
 	alive, err := c.Ping(uint64(pid))
 	if err != nil {
 		return false, wp.t.mapErr(wp.node, c, err)
 	}
 	return alive, nil
+}
+
+// countingPeer wraps a fallback (simulated) peer so sim-tier operations
+// show up beside the wire tiers in the tier counters. It changes no
+// behaviour — same calls, same errors, same simulated-time charges.
+type countingPeer struct {
+	p   sponge.Peer
+	ops *obs.Counter
+}
+
+func (cp countingPeer) AllocWrite(p *simtime.Proc, from *cluster.Node, owner sponge.TaskID, data []byte) (int, error) {
+	cp.ops.Inc()
+	return cp.p.AllocWrite(p, from, owner, data)
+}
+
+func (cp countingPeer) Read(p *simtime.Proc, to *cluster.Node, handle int, buf []byte) (int, error) {
+	cp.ops.Inc()
+	return cp.p.Read(p, to, handle, buf)
+}
+
+func (cp countingPeer) Free(p *simtime.Proc, from *cluster.Node, handle int) error {
+	cp.ops.Inc()
+	return cp.p.Free(p, from, handle)
+}
+
+func (cp countingPeer) FreeSpace(p *simtime.Proc, from *cluster.Node) (int, error) {
+	cp.ops.Inc()
+	return cp.p.FreeSpace(p, from)
+}
+
+func (cp countingPeer) TaskAlive(p *simtime.Proc, from *cluster.Node, pid int64) (bool, error) {
+	cp.ops.Inc()
+	return cp.p.TaskAlive(p, from, pid)
 }

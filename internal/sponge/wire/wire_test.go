@@ -355,7 +355,7 @@ func fakeV1Server(t *testing.T, pool *sponge.Pool) string {
 					if len(req) >= 1 && req[0] == OpHello {
 						resp = []byte{StatusBadRequest}
 					} else {
-						resp = legacy.dispatch(req)
+						resp, _ = legacy.dispatch(req)
 					}
 					if err := writeFrame(conn, resp); err != nil {
 						return

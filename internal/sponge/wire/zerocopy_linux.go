@@ -1,0 +1,167 @@
+//go:build linux
+
+package wire
+
+import (
+	"errors"
+	"io"
+	"net"
+	"os"
+	"syscall"
+)
+
+// zeroCopyAvailable reports whether this build can serve spill-file
+// payloads via sendfile and pass descriptors over SCM_RIGHTS.
+const zeroCopyAvailable = true
+
+// errZCUnsupported means the connection or kernel cannot take this
+// transfer zero-copy; the caller falls back to the buffered path. It is
+// only returned before any payload byte has moved.
+var errZCUnsupported = errors.New("wire: zero-copy unsupported on this connection")
+
+// zeroCopier drives sendfile(2) from a spill file into one connection's
+// socket. It is created once per connection and bound to the raw
+// descriptor, and its step closure is pre-bound so a steady-state
+// zero-copy serve allocates nothing. Callers serialize use through the
+// frameWriter lock.
+type zeroCopier struct {
+	rc   syscall.RawConn
+	src  int   // spill-file fd for the in-flight transfer
+	off  int64 // next file offset (sendfile advances it)
+	left int64 // bytes still to send
+	serr error // syscall error from the last step
+	step func(fd uintptr) bool
+}
+
+// newZeroCopier returns a sendfile driver for conn, or nil when the
+// connection is not a kernel socket we can sendfile into.
+func newZeroCopier(conn net.Conn) *zeroCopier {
+	type rawConner interface {
+		SyscallConn() (syscall.RawConn, error)
+	}
+	var rc syscall.RawConn
+	switch c := conn.(type) {
+	case *net.TCPConn:
+		rc, _ = c.SyscallConn()
+	case *net.UnixConn:
+		rc, _ = c.SyscallConn()
+	default:
+		// Wrapped conns (tests, middleware) may still expose the raw
+		// socket.
+		if sc, ok := conn.(rawConner); ok {
+			rc, _ = sc.SyscallConn()
+		}
+	}
+	if rc == nil {
+		return nil
+	}
+	z := &zeroCopier{rc: rc}
+	z.step = func(fd uintptr) bool {
+		for z.left > 0 {
+			n, err := syscall.Sendfile(int(fd), z.src, &z.off, int(z.left))
+			if n > 0 {
+				z.left -= int64(n)
+				continue
+			}
+			switch err {
+			case syscall.EINTR:
+				continue
+			case syscall.EAGAIN:
+				return false // wait for writability, then re-enter
+			default:
+				if err == nil {
+					// 0 bytes, no error: offset past EOF — a corrupt
+					// record; surface it rather than spinning.
+					err = syscall.ENODATA
+				}
+				z.serr = err
+				return true
+			}
+		}
+		return true
+	}
+	return z
+}
+
+// sendFile transfers n bytes of f starting at off into the socket,
+// returning the bytes actually moved zero-copy. A kernel that refuses
+// the very first sendfile (EINVAL/ENOSYS/ENOTSOCK) yields
+// errZCUnsupported with 0 bytes moved, so the caller can fall back to a
+// buffered copy without corrupting the stream.
+func (z *zeroCopier) sendFile(f *os.File, off, n int64) (int64, error) {
+	z.src = int(f.Fd())
+	z.off = off
+	z.left = n
+	z.serr = nil
+	err := z.rc.Write(z.step)
+	sent := n - z.left
+	if err == nil {
+		err = z.serr
+	}
+	if err != nil && sent == 0 {
+		switch err {
+		case syscall.EINVAL, syscall.ENOSYS, syscall.ENOTSOCK, syscall.ENOTSUP:
+			return 0, errZCUnsupported
+		}
+	}
+	return sent, err
+}
+
+// sendFDOverUnix answers one OpSpillFD exchange on a unix connection:
+// it writes the v1 response frame [StatusOK, b] where the final byte b
+// rides a sendmsg carrying fd as SCM_RIGHTS ancillary data. The caller
+// guarantees the connection is lock-step with nothing buffered, so the
+// descriptor lands exactly on the receiver's recvmsg boundary.
+func sendFDOverUnix(uc *net.UnixConn, fd int) error {
+	hdr := [5]byte{2, 0, 0, 0, StatusOK} // frame length 2, then status
+	if _, err := uc.Write(hdr[:]); err != nil {
+		return err
+	}
+	rights := syscall.UnixRights(fd)
+	_, _, err := uc.WriteMsgUnix([]byte{0}, rights, nil)
+	return err
+}
+
+// recvFDOverUnix performs the client half of the OpSpillFD handshake on
+// a dedicated raw unix connection (no buffered reader may sit between:
+// a buffered read would consume the descriptor-carrying byte and the
+// kernel would drop the ancillary data).
+func recvFDOverUnix(uc *net.UnixConn) (*os.File, error) {
+	if err := writeFrame(uc, []byte{OpSpillFD}); err != nil {
+		return nil, err
+	}
+	var hdr [5]byte // frame length + status
+	if _, err := io.ReadFull(uc, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := int(uint32(hdr[0]) | uint32(hdr[1])<<8 | uint32(hdr[2])<<16 | uint32(hdr[3])<<24)
+	if hdr[4] != StatusOK || n != 2 {
+		if err := statusErr(hdr[4]); err != nil {
+			return nil, err
+		}
+		return nil, errors.New("wire: malformed spill-fd response")
+	}
+	buf := make([]byte, 1)
+	oob := make([]byte, syscall.CmsgSpace(4))
+	_, oobn, _, _, err := uc.ReadMsgUnix(buf, oob)
+	if err != nil {
+		return nil, err
+	}
+	cmsgs, err := syscall.ParseSocketControlMessage(oob[:oobn])
+	if err != nil {
+		return nil, err
+	}
+	for _, cmsg := range cmsgs {
+		fds, err := syscall.ParseUnixRights(&cmsg)
+		if err != nil || len(fds) == 0 {
+			continue
+		}
+		syscall.CloseOnExec(fds[0])
+		// Extra descriptors (there should be none) must not leak.
+		for _, extra := range fds[1:] {
+			syscall.Close(extra)
+		}
+		return os.NewFile(uintptr(fds[0]), "sponge-spill-fd"), nil
+	}
+	return nil, errors.New("wire: spill-fd response carried no descriptor")
+}

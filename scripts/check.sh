@@ -8,6 +8,12 @@ cd "$(dirname "$0")/.."
 echo "== go build ./... =="
 go build ./...
 
+echo "== GOOS=darwin go build ./... (portable fallback must compile) =="
+# The zero-copy serve path (sendfile, SCM_RIGHTS fd passing) is linux-only
+# behind build tags; the darwin cross-compile proves the portable
+# buffered fallback keeps every package building off-linux.
+GOOS=darwin go build ./...
+
 echo "== go vet ./... =="
 go vet ./...
 
@@ -22,6 +28,13 @@ echo "== allocation-regression guards =="
 # the spill path's alloc budget.
 go test -count=1 -run 'AllocationFree|TestMacroAllocRegressionGuard' \
 	./internal/sponge ./internal/simtime ./internal/bench ./internal/obs
+
+# Wire transport guard: steady-state ReadInto must stay 0 allocs/chunk
+# on every serve path — TCP and unix pool reads, sendfile spill serves
+# (the portable buffered path off-linux), and the fd-passing pread fast
+# path. The server runs in-process, so the guard sees its side too.
+go test -count=1 -run 'TestWireReadSteadyStateAllocationFree' \
+	./internal/sponge/wire
 
 echo "== readahead sweep smoke + depth-1 seed equivalence =="
 # One tiny depth-sweep iteration over both transports, and the pinned
