@@ -36,4 +36,11 @@ bench-faults:
 bench-readahead:
 	go run ./cmd/benchtab -out BENCH_readahead.json readahead
 
-.PHONY: tier1 tier2 stats-smoke bench-wire bench bench-faults bench-readahead
+# Local transport tier ladder: steady-state 64KiB reads over loopback
+# TCP, unix sockets, sendfile spill serves, and the fd-passing pread
+# fast paths (spill file + memfd pool segments); patches the measured
+# rungs into BENCH_wire.json's tier_ladder section.
+bench-tier:
+	go run ./cmd/benchtab -out BENCH_wire.json tier
+
+.PHONY: tier1 tier2 stats-smoke bench-wire bench bench-faults bench-readahead bench-tier

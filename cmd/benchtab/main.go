@@ -7,6 +7,7 @@
 //	benchtab [-perfsize f] [-workers n] [-out file.json] perf
 //	benchtab [-out file.json] [-stats file.json] faults
 //	benchtab [-out file.json] [-stats file.json] readahead
+//	benchtab [-out BENCH_wire.json] tier
 //
 // -size scales the macro datasets (1.0 = the paper's 10 GB inputs).
 //
@@ -28,6 +29,14 @@
 // injected per-exchange latency over both transports, measuring
 // read-back throughput of a fully remote file (checked in as
 // BENCH_readahead.json). Also not part of "all".
+//
+// The tier experiment measures the local transport tier ladder —
+// steady-state 64KiB chunk reads over loopback TCP, unix sockets,
+// sendfile spill serves, and the fd-passing pread fast paths (spill
+// file and memfd pool segments) — and patches the measured rungs into
+// the tier_ladder section of an existing BENCH_wire.json given via
+// -out, leaving the protocol-benchmark sections untouched. Also not
+// part of "all".
 package main
 
 import (
@@ -35,6 +44,7 @@ import (
 	"fmt"
 	"os"
 	"strconv"
+	"time"
 
 	"spongefiles/internal/bench"
 	"spongefiles/internal/media"
@@ -63,6 +73,10 @@ func main() {
 	}
 	if which == "readahead" {
 		readahead(*perfOut, *statsOut)
+		return
+	}
+	if which == "tier" {
+		tier(*perfOut)
 		return
 	}
 	run := func(name string, fn func()) {
@@ -140,6 +154,23 @@ func readahead(out, statsOut string) {
 		fmt.Printf("report written to %s\n", out)
 	}
 	dumpStats(cfg.Metrics, statsOut)
+}
+
+func tier(out string) {
+	fmt.Println("== Local transport tier ladder: steady-state 64KiB ReadInto ==")
+	rungs, err := bench.RunTierLadder(2 * time.Second)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tier ladder: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Println(bench.FormatTable(bench.TierHeader, bench.TierRows(rungs)))
+	if out != "" {
+		if err := bench.PatchWireTierLadder(out, rungs); err != nil {
+			fmt.Fprintf(os.Stderr, "patch %s: %v\n", out, err)
+			os.Exit(1)
+		}
+		fmt.Printf("tier ladder patched into %s\n", out)
+	}
 }
 
 // dumpStats writes the sweep's aggregated registry snapshot as JSON.

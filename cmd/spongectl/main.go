@@ -13,7 +13,8 @@
 //	                  [-prefix sponge_,...] [-raw]
 //	spongectl demo    [-chunk 65536] [-chunks 64] [-conns 4]
 //	spongectl cluster [-nodes 3] [-chunks 32] [-mb 200] [-drop 0.1]
-//	                  [-readahead 4] [-local-socket-dir /tmp] ...
+//	                  [-readahead 4] [-local-socket-dir /tmp]
+//	                  [-no-fd-pass] ...
 //
 // "serve" runs a sponge server until interrupted; -local-socket-dir
 // adds a same-host unix-socket listener, -spill-dir a disk-spill
@@ -33,9 +34,12 @@
 // over each pipelined connection at once). With -local-socket-dir the
 // children also listen on per-node unix sockets in that directory and
 // the parent's transport auto-discovers the same-host tier, so chunk
-// traffic skips the TCP stack. After the round trip it scrapes every
-// child over OpMetrics and prints the per-node table (including the
-// transport-tier and zero-copy counters).
+// traffic skips the TCP stack; on linux the transport also pulls each
+// child's spill-file and memfd pool-segment descriptors over SCM_RIGHTS
+// so chunk reads become local preads whose payloads never cross the
+// socket (-no-fd-pass turns both fast paths off). After the round trip
+// it scrapes every child over OpMetrics and prints the per-node table
+// (including the transport-tier, fd-pass, and zero-copy counters).
 package main
 
 import (
@@ -253,6 +257,7 @@ func clusterMain(args []string) {
 	drop := fs.Float64("drop", 0, "fault-injected exchange drop rate")
 	seed := fs.Int64("seed", 1, "fault stream seed")
 	readahead := fs.Int("readahead", 0, "readahead window depth (0 = service default, 1 = seed-compatible single slot)")
+	noFDPass := fs.Bool("no-fd-pass", false, "do not arm the SCM_RIGHTS fd-passing fast paths (spill-file and pool-segment preads) on same-host unix connections")
 	opts := serveOptions(fs)
 	fs.Parse(args)
 
@@ -326,6 +331,7 @@ func clusterMain(args []string) {
 	var transport sponge.Transport = wire.NewTransportOptions(addrs, svc.Transport(), wire.TransportOptions{
 		SocketDir: wopts.LocalSocketDir,
 		Metrics:   svc.Metrics(),
+		NoFDPass:  *noFDPass,
 	})
 	var faults *sponge.FaultTransport
 	if *drop > 0 {
@@ -395,11 +401,13 @@ func clusterMain(args []string) {
 		stats.Chunks, stats.ByKind[sponge.LocalMem], stats.ByKind[sponge.RemoteMem],
 		stats.ByKind[sponge.RemoteFS], stats.Retries)
 	if tiers, err := obs.ParseText(svc.Metrics().Text()); err == nil {
-		fmt.Printf("transport tiers: %d ops unix, %d tcp, %d sim; %d unix fallbacks\n",
+		fmt.Printf("transport tiers: %d ops unix (%d pool-fd preads), %d tcp, %d sim; %d unix fallbacks, %d gen misses\n",
 			tiers[`sponge_transport_tier_total{tier="unix"}`],
+			tiers[`sponge_transport_tier_total{tier="pool_fd"}`],
 			tiers[`sponge_transport_tier_total{tier="tcp"}`],
 			tiers[`sponge_transport_tier_total{tier="sim"}`],
-			tiers["sponge_transport_unix_fallback_total"])
+			tiers["sponge_transport_unix_fallback_total"],
+			tiers["sponge_poolfd_gen_miss_total"])
 	}
 	if faults != nil {
 		fs := faults.Stats()
@@ -445,9 +453,10 @@ func clusterMain(args []string) {
 	if err := obs.RenderNodeTable(os.Stdout, mnodes,
 		"sponge_spill", "sponge_retries", "sponge_ra_", "sponge_fault",
 		"sponge_candidates", "sponge_transport_tier_total",
-		"sponge_transport_unix_fallback_total", "spongewire_requests_total",
-		"spongewire_connections_total", "spongewire_serve_zero_copy_bytes_total",
-		"spongewire_spill_allocs_total"); err != nil {
+		"sponge_transport_unix_fallback_total", "sponge_poolfd_gen_miss_total",
+		"spongewire_requests_total", "spongewire_connections_total",
+		"spongewire_serve_zero_copy_bytes_total", "spongewire_spill_allocs_total",
+		"spongewire_fdpass_fail_total"); err != nil {
 		fatal(err)
 	}
 }

@@ -1,0 +1,33 @@
+//go:build !linux
+
+package sponge
+
+import "os"
+
+// poolSlab is one pool segment's backing store. Portable builds keep
+// slabs on the heap: there is no memfd_create (and no SCM_RIGHTS
+// fd-passing in the wire layer either), so the pool is never
+// fd-passable and SegmentFiles reports that cleanly.
+type poolSlab struct {
+	data []byte
+}
+
+// newPoolSlab obtains n bytes of heap slab.
+func newPoolSlab(n int, name string) poolSlab { return poolSlab{data: make([]byte, n)} }
+
+// file returns nil: portable slabs have no backing descriptor.
+func (s *poolSlab) file() *os.File { return nil }
+
+// uint64s is only meaningful for mapped slabs; portable builds keep the
+// generation table as a plain heap slice (see newGenSlab).
+func (s *poolSlab) uint64s(n int) []uint64 { return nil }
+
+// close releases the slab's memory to the collector.
+func (s *poolSlab) close() { s.data = nil }
+
+// newGenSlab builds the pool's generation table on the heap; the
+// in-process seqlock protocol is identical to the linux build, only the
+// fd-passing that would share the table with peers is unavailable.
+func newGenSlab(nchunks int) (poolSlab, []uint64) {
+	return poolSlab{}, make([]uint64, nchunks)
+}

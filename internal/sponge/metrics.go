@@ -121,6 +121,9 @@ func (m *svcMetrics) registerGauges(s *Service) {
 		m.reg.GaugeFunc("sponge_pool_owner_tasks", func() int64 {
 			return int64(pool.Stats().Owners)
 		}, node)
+		m.reg.GaugeFunc("sponge_pool_pinned_readers", func() int64 {
+			return int64(pool.Stats().Pinned)
+		}, node)
 	}
 	m.reg.GaugeFunc("sponge_buf_outstanding", func() int64 {
 		return s.BufPoolStats().Outstanding()

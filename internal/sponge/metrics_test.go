@@ -159,6 +159,20 @@ func TestPoolGaugesTrackLiveState(t *testing.T) {
 	if got := samples[`sponge_pool_owner_tasks{node="1"}`]; got != 1 {
 		t.Errorf("owner gauge = %d, want 1", got)
 	}
+	if got := samples[`sponge_pool_pinned_readers{node="1"}`]; got != 0 {
+		t.Errorf("pinned-readers gauge = %d, want 0 at rest", got)
+	}
+	// A held SegmentFiles hold is an outstanding reader: the gauge must
+	// see it live and drop back after release.
+	if _, _, err := pool.SegmentFiles(); err == nil {
+		if got := scrapeRig(t, r)[`sponge_pool_pinned_readers{node="1"}`]; got != 1 {
+			t.Errorf("pinned-readers gauge under hold = %d, want 1", got)
+		}
+		pool.ReleaseSegmentFiles()
+		if got := scrapeRig(t, r)[`sponge_pool_pinned_readers{node="1"}`]; got != 0 {
+			t.Errorf("pinned-readers gauge after release = %d, want 0", got)
+		}
+	}
 }
 
 // faultCounterRun drives one fixed-seed faulty round trip and returns

@@ -1,7 +1,10 @@
 package sponge
 
 import (
+	"errors"
+	"os"
 	"sync"
+	"sync/atomic"
 
 	"spongefiles/internal/simtime"
 )
@@ -11,20 +14,49 @@ import (
 // recording the owning task (§3.1.1). Following the paper's Java
 // implementation, which splits the region into multiple memory-mapped
 // segments to get past the 2 GB mmap limit, the pool is backed by
-// several slabs; allocation tries any segment.
+// several slabs; allocation tries any segment. On linux each slab is an
+// anonymous memory file (memfd_create) mapped MAP_SHARED, so the wire
+// server can pass segment descriptors to same-host clients who then
+// pread chunks without the payload ever crossing a socket.
 //
 // The pool is guarded by a single lock, like the paper's global spin
 // lock over the metadata region. Under the simulator the lock is
 // uncontended (one process runs at a time) and its cost is charged as
 // virtual time; the real-TCP transport in the wire subpackage shares the
 // same pool from OS threads, which is why a real mutex backs it.
+//
+// Chunk payload copies, however, run outside the lock under a per-chunk
+// pin and a seqlock-style generation: Read and Write pin the chunk,
+// release the lock, move the bytes, and re-take the lock to unpin;
+// Write brackets its copy with generation bumps (odd = write in
+// progress) and FreeChunk both waits out pins and bumps the generation.
+// In-process that makes large copies concurrent instead of serialized
+// on the metadata lock; across processes the generation table — itself
+// file-backed and passed with the segments — is how an fd-holding
+// reader detects that a chunk was freed or rewritten between its
+// location lookup and its pread.
 type Pool struct {
 	mu sync.Mutex
+	// drained signals pin-count and pinned-total drops to waiters
+	// (FreeChunk, Write, Close).
+	drained *sync.Cond
 
 	chunkReal int // real bytes per chunk
-	segments  [][]byte
+	segments  []poolSlab
 	owners    []TaskID // flat index across segments; zero = free
 	lengths   []int    // valid bytes per chunk
+
+	// gens is the per-chunk seqlock generation: even = stable, odd =
+	// write in progress; freeing bumps by two. On linux it views the
+	// file-backed meta slab so fd-holding peers share it.
+	gens    []uint64
+	genSlab poolSlab
+
+	// pins counts in-flight unlocked payload copies per chunk; pinned is
+	// their total. A pinned chunk is never freed or rewritten, and a
+	// pool with pinned chunks is never unmapped.
+	pins   []int32
+	pinned int
 
 	// freeList is a LIFO stack of free chunk handles, so Alloc is O(1)
 	// instead of scanning the owner table. Its capacity is fixed at the
@@ -41,6 +73,9 @@ type Pool struct {
 
 	// failed marks the hosting node as dead: all chunks are lost.
 	failed bool
+	// closed marks the pool shut down: segments are unmapped and all
+	// access errors out.
+	closed bool
 
 	// Stats. highWater is the most chunks ever simultaneously in use.
 	allocs, allocFails, frees int64
@@ -52,6 +87,11 @@ type Pool struct {
 // slabs modest; what matters is that allocation spans segments).
 const segmentChunks = 1024
 
+// ErrPoolNotMappable reports that a pool cannot hand out segment
+// descriptors: its slabs are heap-backed (portable build, or a host
+// with neither memfd_create nor /dev/shm) or the pool is closed.
+var ErrPoolNotMappable = errors.New("sponge: pool segments are not file-backed")
+
 // NewPool builds a pool of nchunks chunks of chunkReal bytes each.
 func NewPool(chunkReal, nchunks int) *Pool {
 	if chunkReal <= 0 || nchunks < 0 {
@@ -61,10 +101,13 @@ func NewPool(chunkReal, nchunks int) *Pool {
 		chunkReal: chunkReal,
 		owners:    make([]TaskID, nchunks),
 		lengths:   make([]int, nchunks),
+		pins:      make([]int32, nchunks),
 		freeList:  make([]int, nchunks),
 		held:      make(map[TaskID]int),
 		lockCost:  2 * simtime.Microsecond,
 	}
+	p.drained = sync.NewCond(&p.mu)
+	p.genSlab, p.gens = newGenSlab(nchunks)
 	// Stack the handles so the first allocations pop 0, 1, 2, … — the
 	// same order the old linear scan produced.
 	for i := range p.freeList {
@@ -72,7 +115,7 @@ func NewPool(chunkReal, nchunks int) *Pool {
 	}
 	// Segments are materialized lazily on first touch: the cluster may
 	// reserve sponge memory far larger than any one run ever fills.
-	p.segments = make([][]byte, (nchunks+segmentChunks-1)/segmentChunks)
+	p.segments = make([]poolSlab, (nchunks+segmentChunks-1)/segmentChunks)
 	return p
 }
 
@@ -89,6 +132,11 @@ func (p *Pool) ChunkSize() int { return p.chunkReal }
 
 // Chunks returns the total chunk count.
 func (p *Pool) Chunks() int { return len(p.owners) }
+
+// SegmentChunks returns the chunk capacity of one segment slab — the
+// divisor that turns a handle into (segment index, offset) for peers
+// resolving locations against passed descriptors.
+func (p *Pool) SegmentChunks() int { return segmentChunks }
 
 // Free returns the number of free chunks.
 func (p *Pool) Free() int {
@@ -111,7 +159,7 @@ func (p *Pool) Alloc(owner TaskID) (int, error) {
 	}
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	if p.failed {
+	if p.failed || p.closed {
 		p.allocFails++
 		return 0, ErrChunkLost
 	}
@@ -137,45 +185,90 @@ func (p *Pool) Alloc(owner TaskID) (int, error) {
 }
 
 // chunkSlice returns the backing bytes of a handle, materializing the
-// segment on first touch.
+// segment on first touch. Caller holds p.mu.
 func (p *Pool) chunkSlice(h int) []byte {
 	seg := h / segmentChunks
-	if p.segments[seg] == nil {
+	if p.segments[seg].data == nil {
 		n := len(p.owners) - seg*segmentChunks
 		if n > segmentChunks {
 			n = segmentChunks
 		}
-		p.segments[seg] = make([]byte, n*p.chunkReal)
+		p.segments[seg] = newPoolSlab(n*p.chunkReal, "sponge-pool-seg")
 	}
 	off := (h % segmentChunks) * p.chunkReal
-	return p.segments[seg][off : off+p.chunkReal]
+	return p.segments[seg].data[off : off+p.chunkReal]
 }
 
 // Write stores data into the chunk (replacing previous contents). The
-// caller charges copy time; Write only moves the real bytes.
+// caller charges copy time; Write only moves the real bytes. The copy
+// runs outside the metadata lock under a pin, bracketed by generation
+// bumps so concurrent readers (local or holding passed descriptors)
+// never accept a torn payload.
 func (p *Pool) Write(h int, data []byte) error {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	if err := p.check(h); err != nil {
-		return err
-	}
 	if len(data) > p.chunkReal {
 		panic("sponge: chunk overflow")
 	}
-	copy(p.chunkSlice(h), data)
+	p.mu.Lock()
+	if err := p.check(h); err != nil {
+		p.mu.Unlock()
+		return err
+	}
+	// Wait out unlocked readers of the old contents; re-validate after
+	// any wait, the chunk may have been freed meanwhile.
+	for p.pins[h] > 0 {
+		p.drained.Wait()
+		if err := p.check(h); err != nil {
+			p.mu.Unlock()
+			return err
+		}
+	}
+	atomic.AddUint64(&p.gens[h], 1) // odd: write in progress
+	dst := p.chunkSlice(h)
+	p.pins[h]++
+	p.pinned++
+	p.mu.Unlock()
+	copy(dst, data)
+	p.mu.Lock()
+	p.pins[h]--
+	p.pinned--
 	p.lengths[h] = len(data)
+	atomic.AddUint64(&p.gens[h], 1) // even: new contents visible
+	p.drained.Broadcast()
+	p.mu.Unlock()
 	return nil
 }
 
 // Read copies the chunk's valid bytes into buf and returns the count.
+// The copy runs outside the metadata lock under a pin; a generation
+// observed odd means a writer is mid-copy and the read retries.
 func (p *Pool) Read(h int, buf []byte) (int, error) {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	if err := p.check(h); err != nil {
-		return 0, err
+	for {
+		p.mu.Lock()
+		if err := p.check(h); err != nil {
+			p.mu.Unlock()
+			return 0, err
+		}
+		if atomic.LoadUint64(&p.gens[h])&1 == 1 {
+			// Writer mid-copy; it needs the lock to finish, so releasing
+			// and re-taking it is the wait.
+			p.mu.Unlock()
+			continue
+		}
+		n := p.lengths[h]
+		src := p.chunkSlice(h)[:n]
+		p.pins[h]++
+		p.pinned++
+		p.mu.Unlock()
+		m := copy(buf, src)
+		p.mu.Lock()
+		p.pins[h]--
+		p.pinned--
+		p.drained.Broadcast()
+		p.mu.Unlock()
+		// The pin excluded frees and rewrites for the whole copy, so the
+		// bytes are consistent as of the pinned generation.
+		return m, nil
 	}
-	n := copy(buf, p.chunkSlice(h)[:p.lengths[h]])
-	return n, nil
 }
 
 // Length returns the valid byte count of a chunk.
@@ -188,8 +281,69 @@ func (p *Pool) Length(h int) (int, error) {
 	return p.lengths[h], nil
 }
 
+// Loc resolves a live chunk to its location in the pool's segment
+// geometry — segment index, byte offset within the segment, valid
+// length — plus the chunk's current generation. A peer holding the
+// passed segment descriptors preads [off, off+n) from segment seg and
+// accepts the bytes only if the generation table still shows gen (even)
+// afterwards; anything else means the chunk was freed or rewritten
+// mid-read and the peer falls back to a socket read.
+func (p *Pool) Loc(h int) (seg int, off int64, n int, gen uint64, err error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if err := p.check(h); err != nil {
+		return 0, 0, 0, 0, err
+	}
+	seg = h / segmentChunks
+	off = int64(h%segmentChunks) * int64(p.chunkReal)
+	n = p.lengths[h]
+	gen = atomic.LoadUint64(&p.gens[h])
+	return seg, off, n, gen, nil
+}
+
+// SegmentFiles materializes every segment and returns the pool's
+// file-backed memory: the generation-table descriptor and one
+// descriptor per segment, in index order. The files stay owned by the
+// pool; on success the caller holds an outstanding-reader hold (counted
+// with the pinned copies) that blocks Close — and therefore the fds'
+// destruction — until ReleaseSegmentFiles, so a concurrent shutdown can
+// never close a descriptor mid-handshake. Heap-backed pools (portable
+// builds, hosts without memfd or /dev/shm) and closed pools return
+// ErrPoolNotMappable.
+func (p *Pool) SegmentFiles() (meta *os.File, segs []*os.File, err error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return nil, nil, ErrPoolNotMappable
+	}
+	if meta = p.genSlab.file(); meta == nil {
+		return nil, nil, ErrPoolNotMappable
+	}
+	segs = make([]*os.File, len(p.segments))
+	for i := range p.segments {
+		if p.segments[i].data == nil {
+			// Materialize through the first handle of the segment.
+			p.chunkSlice(i * segmentChunks)
+		}
+		if segs[i] = p.segments[i].file(); segs[i] == nil {
+			return nil, nil, ErrPoolNotMappable
+		}
+	}
+	p.pinned++
+	return meta, segs, nil
+}
+
+// ReleaseSegmentFiles drops the hold a successful SegmentFiles took;
+// the returned descriptors must not be used past this call.
+func (p *Pool) ReleaseSegmentFiles() {
+	p.mu.Lock()
+	p.pinned--
+	p.drained.Broadcast()
+	p.mu.Unlock()
+}
+
 func (p *Pool) check(h int) error {
-	if p.failed {
+	if p.failed || p.closed {
 		return ErrChunkLost
 	}
 	if h < 0 || h >= len(p.owners) || p.owners[h].IsZero() {
@@ -199,14 +353,23 @@ func (p *Pool) check(h int) error {
 }
 
 // FreeChunk returns a chunk to the pool. Freeing a free chunk is an error
-// caught by panic: it indicates double-free in the engine.
+// caught by panic: it indicates double-free in the engine. The free
+// waits out any in-flight unlocked copy of the chunk and bumps its
+// generation, so descriptor-holding peers can detect the recycle.
 func (p *Pool) FreeChunk(h int) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
+	if p.closed {
+		return // the whole pool is already gone
+	}
 	owner := p.owners[h]
 	if owner.IsZero() {
 		panic("sponge: double free")
 	}
+	for p.pins[h] > 0 {
+		p.drained.Wait()
+	}
+	atomic.AddUint64(&p.gens[h], 2) // stays even: freed, not mid-write
 	p.owners[h] = TaskID{}
 	p.lengths[h] = 0
 	p.freeList = append(p.freeList, h)
@@ -235,9 +398,16 @@ func (p *Pool) Owners() map[TaskID]int {
 func (p *Pool) FreeOwnedBy(owner TaskID) int {
 	p.mu.Lock()
 	defer p.mu.Unlock()
+	if p.closed {
+		return 0
+	}
 	freed := 0
 	for i, o := range p.owners {
 		if o == owner {
+			for p.pins[i] > 0 {
+				p.drained.Wait()
+			}
+			atomic.AddUint64(&p.gens[i], 2)
 			p.owners[i] = TaskID{}
 			p.lengths[i] = 0
 			p.freeList = append(p.freeList, i)
@@ -264,6 +434,38 @@ func (p *Pool) Failed() bool {
 	return p.failed
 }
 
+// Close shuts the pool down: it waits for every in-flight unlocked copy
+// to unpin, then unmaps and closes the segment and generation slabs.
+// All subsequent access errors with ErrChunkLost. Close is idempotent.
+// Peers holding passed descriptors are unaffected by the unmap — the
+// kernel keeps the memory alive for them — but their location lookups
+// fail cleanly from here on.
+func (p *Pool) Close() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return nil
+	}
+	p.closed = true
+	// New pins are impossible now (check sees closed); drain the rest.
+	for p.pinned > 0 {
+		p.drained.Wait()
+	}
+	for i := range p.segments {
+		p.segments[i].close()
+	}
+	p.gens = nil
+	p.genSlab.close()
+	return nil
+}
+
+// Closed reports whether the pool has been shut down.
+func (p *Pool) Closed() bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.closed
+}
+
 // PoolStats is a consistent snapshot of one pool's occupancy and
 // lifetime counters, taken under the metadata lock.
 type PoolStats struct {
@@ -271,6 +473,7 @@ type PoolStats struct {
 	TotalChunks int // pool capacity
 	HighWater   int // most chunks ever simultaneously in use
 	Owners      int // distinct tasks currently holding chunks
+	Pinned      int // in-flight unlocked payload copies right now
 	Allocs      int64
 	AllocFails  int64
 	Frees       int64
@@ -287,6 +490,7 @@ func (p *Pool) Stats() PoolStats {
 		TotalChunks: len(p.owners),
 		HighWater:   p.highWater,
 		Owners:      len(p.held),
+		Pinned:      p.pinned,
 		Allocs:      p.allocs,
 		AllocFails:  p.allocFails,
 		Frees:       p.frees,

@@ -3,6 +3,7 @@ package wire
 import (
 	"bufio"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"io"
 	"net"
@@ -10,6 +11,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"spongefiles/internal/obs"
 	"spongefiles/internal/sponge"
 )
 
@@ -43,6 +45,39 @@ type Client struct {
 	// spillF is the server's spill-file descriptor once FetchSpillFD has
 	// passed it over SCM_RIGHTS; spilled chunks are then pread directly.
 	spillF atomic.Pointer[os.File]
+
+	// poolFD is the server's pool mapping once FetchPoolFDs (or
+	// ArmFDPass) has passed the segment descriptors; pool-resident
+	// chunks are then pread directly with a generation check.
+	poolFD atomic.Pointer[poolFDState]
+
+	// poolFDOps and genMiss, when non-nil, count pool-fd preads and
+	// generation-check misses; wired by the transport so the series land
+	// beside its tier counters.
+	poolFDOps *obs.Counter
+	genMiss   *obs.Counter
+}
+
+// poolFDState is the client-side view of a passed pool: the segment
+// descriptors to pread from, the read-only mapping of the server's
+// generation table, and the geometry that turns handles into (segment,
+// offset) pairs.
+type poolFDState struct {
+	meta      *os.File
+	metaRaw   []byte   // raw mmap backing gens; nil when chunks == 0
+	gens      []uint64 // shared per-chunk generations, atomically loaded
+	segs      []*os.File
+	segChunks int
+	chunks    int
+}
+
+// release unmaps the generation table and closes every descriptor.
+func (st *poolFDState) release() {
+	unmapPoolMeta(st.metaRaw)
+	st.meta.Close()
+	for _, f := range st.segs {
+		f.Close()
+	}
 }
 
 // wireCall is one in-flight v2 request awaiting its response. Calls are
@@ -183,30 +218,34 @@ func (c *Client) Close() error {
 	if f := c.spillF.Swap(nil); f != nil {
 		f.Close()
 	}
+	if st := c.poolFD.Swap(nil); st != nil {
+		st.release()
+	}
 	return err
 }
 
-// FetchSpillFD asks the server to pass its spill-file descriptor over
-// SCM_RIGHTS, enabling the direct-pread fast path for disk-spilled
-// chunks (ReadInto then never moves spilled bytes through the socket).
-// Only a unix-socket client on a build with fd-passing can succeed;
-// everyone else gets an error and keeps using OpRead, which the server
-// serves zero-copy anyway. The handshake runs on its own short-lived
-// lock-step connection: the descriptor must land exactly on a recvmsg
-// boundary, which the pipelined main connection cannot guarantee.
-func (c *Client) FetchSpillFD() error {
+// fdConn dials the dedicated raw unix connection fd-pass handshakes
+// run on: descriptors must land exactly on a recvmsg boundary, which
+// the pipelined main connection cannot guarantee.
+func (c *Client) fdConn() (*net.UnixConn, error) {
 	if c.network != "unix" || !zeroCopyAvailable {
-		return errZCUnsupported
+		return nil, errZCUnsupported
 	}
 	raw, err := net.Dial("unix", c.addr)
 	if err != nil {
-		return err
+		return nil, err
 	}
-	defer raw.Close()
 	uc, ok := raw.(*net.UnixConn)
 	if !ok {
-		return errZCUnsupported
+		raw.Close()
+		return nil, errZCUnsupported
 	}
+	return uc, nil
+}
+
+// fetchSpillFDOn runs the OpSpillFD exchange on an established fd-pass
+// connection and installs the descriptor.
+func (c *Client) fetchSpillFDOn(uc *net.UnixConn) error {
 	f, err := recvFDOverUnix(uc)
 	if err != nil {
 		return err
@@ -217,8 +256,91 @@ func (c *Client) FetchSpillFD() error {
 	return nil
 }
 
-// HasSpillFD reports whether the direct-pread fast path is armed.
+// fetchPoolFDsOn runs the OpPoolFD exchange on an established fd-pass
+// connection, maps the generation table, and installs the state.
+func (c *Client) fetchPoolFDsOn(uc *net.UnixConn) error {
+	meta, segs, g, err := recvPoolFDsOverUnix(uc)
+	if err != nil {
+		return err
+	}
+	st := &poolFDState{meta: meta, segs: segs, segChunks: g.segChunks, chunks: g.chunks}
+	if g.chunkSize != c.chunkSize || g.segChunks <= 0 || g.chunks < 0 ||
+		(g.chunks+g.segChunks-1)/g.segChunks != len(segs) {
+		st.release()
+		return fmt.Errorf("wire: pool-fd geometry mismatch")
+	}
+	if st.metaRaw, st.gens, err = mapPoolMeta(meta, g.chunks); err != nil {
+		st.release()
+		return err
+	}
+	if old := c.poolFD.Swap(st); old != nil {
+		old.release()
+	}
+	return nil
+}
+
+// FetchSpillFD asks the server to pass its spill-file descriptor over
+// SCM_RIGHTS, enabling the direct-pread fast path for disk-spilled
+// chunks (ReadInto then never moves spilled bytes through the socket).
+// Only a unix-socket client on a build with fd-passing can succeed;
+// everyone else gets an error and keeps using OpRead, which the server
+// serves zero-copy anyway. The handshake runs on its own short-lived
+// lock-step connection.
+func (c *Client) FetchSpillFD() error {
+	uc, err := c.fdConn()
+	if err != nil {
+		return err
+	}
+	defer uc.Close()
+	return c.fetchSpillFDOn(uc)
+}
+
+// FetchPoolFDs asks the server to pass its pool's segment and
+// generation-table descriptors over SCM_RIGHTS, enabling the
+// direct-pread fast path for pool-resident chunks: ReadInto then
+// resolves OpPoolLoc and preads the mapped segment, re-checking the
+// shared generation afterwards so a chunk freed or rewritten mid-read
+// is transparently retried over the socket. Same preconditions as
+// FetchSpillFD; servers whose pool is not file-backed refuse and the
+// client keeps using OpRead.
+func (c *Client) FetchPoolFDs() error {
+	uc, err := c.fdConn()
+	if err != nil {
+		return err
+	}
+	defer uc.Close()
+	return c.fetchPoolFDsOn(uc)
+}
+
+// ArmFDPass arms both direct-pread fast paths — spill file and pool
+// segments — over one dedicated lock-step connection (the handshakes
+// run back to back; each may be individually refused with
+// StatusBadRequest without poisoning the stream). It returns nil when
+// at least one path armed; a transport failure or double refusal
+// returns the first error.
+func (c *Client) ArmFDPass() error {
+	uc, err := c.fdConn()
+	if err != nil {
+		return err
+	}
+	defer uc.Close()
+	spillErr := c.fetchSpillFDOn(uc)
+	if spillErr != nil && !errors.Is(spillErr, ErrBadRequest) {
+		// Anything but a clean refusal leaves the stream unusable.
+		return spillErr
+	}
+	poolErr := c.fetchPoolFDsOn(uc)
+	if spillErr == nil || poolErr == nil {
+		return nil
+	}
+	return spillErr
+}
+
+// HasSpillFD reports whether the spill direct-pread fast path is armed.
 func (c *Client) HasSpillFD() bool { return c.spillF.Load() != nil }
+
+// HasPoolFD reports whether the pool direct-pread fast path is armed.
+func (c *Client) HasPoolFD() bool { return c.poolFD.Load() != nil }
 
 // SpillLoc resolves a spilled chunk's stable region in the server's
 // spill file. Servers without a spill tier answer ErrBadRequest.
@@ -461,6 +583,14 @@ func (c *Client) Read(handle int) ([]byte, error) {
 // OpSpillLoc exchange on the pread fast path.
 var locBufPool = sync.Pool{New: func() any { b := make([]byte, 12); return &b }}
 
+// poolLocBufPool does the same for the 24-byte OpPoolLoc responses.
+var poolLocBufPool = sync.Pool{New: func() any { b := make([]byte, 24); return &b }}
+
+// poolPreadTestHook, when non-nil, runs between the OpPoolLoc exchange
+// and the segment pread — the window the generation check guards. Tests
+// use it to free or rewrite the chunk deterministically mid-read.
+var poolPreadTestHook func()
+
 // ReadInto fetches a chunk's contents directly into buf, avoiding any
 // intermediate allocation (in v2 mode the payload is decoded off the
 // socket straight into buf), and returns the byte count. If buf is too
@@ -469,11 +599,19 @@ var locBufPool = sync.Pool{New: func() any { b := make([]byte, 12); return &b }}
 //
 // A disk-spilled chunk, when the server's spill-file descriptor has
 // been fetched (FetchSpillFD), is pread straight from the file: only
-// the 13-byte OpSpillLoc exchange crosses the socket.
+// the 13-byte OpSpillLoc exchange crosses the socket. A pool-resident
+// chunk, when the pool descriptors have been fetched (FetchPoolFDs),
+// likewise: only the 25-byte OpPoolLoc exchange crosses the socket,
+// and a generation mismatch after the pread (chunk freed or rewritten
+// mid-read) transparently falls back to OpRead.
 func (c *Client) ReadInto(handle int, buf []byte) (int, error) {
 	if handle&SpillHandleBit != 0 {
 		if f := c.spillF.Load(); f != nil {
 			return c.preadSpill(f, handle, buf)
+		}
+	} else if st := c.poolFD.Load(); st != nil {
+		if n, ok, err := c.preadPool(st, handle, buf); ok {
+			return n, err
 		}
 	}
 	var head [5]byte
@@ -484,6 +622,76 @@ func (c *Client) ReadInto(handle int, buf []byte) (int, error) {
 		return 0, err
 	}
 	return rep.n, nil
+}
+
+// preadPool is the pool-fd fast path: resolve the chunk's segment
+// location and generation with OpPoolLoc, pread the mapped segment,
+// then re-check the shared generation table. ok=false (with no error)
+// sends the caller to the OpRead fallback: the chunk moved under us —
+// a write was in progress (odd generation) or the generation changed
+// between the lookup and the pread.
+func (c *Client) preadPool(st *poolFDState, handle int, buf []byte) (n int, ok bool, err error) {
+	if handle < 0 || handle >= st.chunks {
+		return 0, false, nil
+	}
+	var head [5]byte
+	head[0] = OpPoolLoc
+	binary.LittleEndian.PutUint32(head[1:], uint32(handle))
+	bp := poolLocBufPool.Get().(*[]byte)
+	rep, err := c.do(head[:], nil, *bp)
+	if err != nil {
+		poolLocBufPool.Put(bp)
+		if errors.Is(err, ErrBadRequest) {
+			// A pre-OpPoolLoc server; use the socket path.
+			return 0, false, nil
+		}
+		return 0, true, err
+	}
+	if rep.n != 24 {
+		poolLocBufPool.Put(bp)
+		return 0, true, fmt.Errorf("wire: bad pool-loc response")
+	}
+	seg := int(binary.LittleEndian.Uint32((*bp)[0:4]))
+	off := int64(binary.LittleEndian.Uint64((*bp)[4:12]))
+	n = int(binary.LittleEndian.Uint32((*bp)[12:16]))
+	gen := binary.LittleEndian.Uint64((*bp)[16:24])
+	poolLocBufPool.Put(bp)
+	if gen&1 == 1 || seg >= len(st.segs) {
+		// Odd: a write is mid-copy right now. A bad segment index means
+		// our mapping is stale. Either way the socket path has the
+		// authoritative bytes.
+		c.countGenMiss()
+		return 0, false, nil
+	}
+	if n > len(buf) {
+		return 0, true, fmt.Errorf("wire: %w: response is %d bytes, buffer holds %d",
+			io.ErrShortBuffer, n, len(buf))
+	}
+	if h := poolPreadTestHook; h != nil {
+		h()
+	}
+	if n > 0 {
+		if _, err := st.segs[seg].ReadAt(buf[:n], off); err != nil {
+			return 0, true, err
+		}
+	}
+	if atomic.LoadUint64(&st.gens[handle]) != gen {
+		// Freed, reallocated, or rewritten between the lookup and the
+		// pread: the copy may be torn. Retry over the socket.
+		c.countGenMiss()
+		return 0, false, nil
+	}
+	if c.poolFDOps != nil {
+		c.poolFDOps.Inc()
+	}
+	return n, true, nil
+}
+
+// countGenMiss records one generation-check miss (when wired).
+func (c *Client) countGenMiss() {
+	if c.genMiss != nil {
+		c.genMiss.Inc()
+	}
 }
 
 // preadSpill is the fd-passing fast path: resolve the chunk's stable

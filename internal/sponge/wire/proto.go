@@ -107,10 +107,30 @@ const (
 	// TCP connections, spill-less servers, and non-linux builds answer a
 	// plain StatusBadRequest frame and callers degrade to OpRead.
 	OpSpillFD
+	// OpPoolLoc asks where a pool-resident chunk lives in the server's
+	// memfd-backed segments. Payload: handle (u32, SpillHandleBit
+	// clear). Response: segment index (u32), byte offset within the
+	// segment (u64), length (u32), generation (u64). Clients holding
+	// the segment descriptors (OpPoolFD) pread the payload themselves
+	// and accept it only if the shared generation table still shows the
+	// returned (even) generation afterwards; a mismatch means the chunk
+	// was freed or rewritten mid-read and the client retries via OpRead.
+	OpPoolLoc
+	// OpPoolFD asks the server to pass its pool's memory-file
+	// descriptors over SCM_RIGHTS: the generation table first, then
+	// every segment in index order. Like OpSpillFD it is only answered
+	// on a unix-socket connection, v1-framed, lock-step: the response
+	// frame is [StatusOK, nfds] and the descriptors ride one sendmsg
+	// whose 12-byte data payload carries the pool geometry
+	// (segment-chunk capacity u32, chunk count u32, chunk size u32).
+	// TCP connections, heap-backed pools, non-linux builds, and pools
+	// too large for one SCM_RIGHTS message answer a plain
+	// StatusBadRequest frame; callers degrade to OpRead.
+	OpPoolFD
 )
 
 // opMax is the highest op code, sizing per-op tables.
-const opMax = OpSpillFD
+const opMax = OpPoolFD
 
 // SpillHandleBit distinguishes disk-spilled chunk handles from pool
 // handles in the shared u32 handle space: pool handles index chunk

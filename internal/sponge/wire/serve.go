@@ -154,8 +154,10 @@ type daemon struct {
 	// sendFD, when non-nil, answers OpSpillFD on a unix connection by
 	// passing the spill-file descriptor over SCM_RIGHTS. Wired by the
 	// sponge server when it has a spill tier; nil answers
-	// StatusBadRequest.
-	sendFD func(conn net.Conn) error
+	// StatusBadRequest. sendPoolFD does the same for OpPoolFD with the
+	// pool's segment descriptors.
+	sendFD     func(conn net.Conn) error
+	sendPoolFD func(conn net.Conn) error
 
 	mu    sync.Mutex
 	conns map[net.Conn]struct{}
@@ -171,6 +173,7 @@ type daemon struct {
 	connsOpen *obs.Gauge
 	zcBytes   *obs.Counter // payload bytes served via sendfile
 	zcFallbk  *obs.Counter // file responses that took the buffered path
+	fdFail    *obs.Counter // fd-pass handshakes refused or failed
 
 	// bufs recycles chunk-size-class request and response buffers so the
 	// steady-state hot path does not allocate. small does the same for
@@ -215,6 +218,8 @@ var opNames = [opMax + 1]string{
 	OpMetrics:    "metrics",
 	OpSpillLoc:   "spill_loc",
 	OpSpillFD:    "spill_fd",
+	OpPoolLoc:    "pool_loc",
+	OpPoolFD:     "pool_fd",
 }
 
 // startDaemon listens on addr (plus the derived unix socket when
@@ -271,6 +276,7 @@ func startDaemon(addr string, opts Options, frameLimit int, helloResp func() []b
 	d.connsOpen = d.metrics.Gauge("spongewire_open_connections", listen)
 	d.zcBytes = d.metrics.Counter("spongewire_serve_zero_copy_bytes_total", listen)
 	d.zcFallbk = d.metrics.Counter("spongewire_serve_zero_copy_fallback_total", listen)
+	d.fdFail = d.metrics.Counter("spongewire_fdpass_fail_total", listen)
 	for _, l := range d.lns {
 		d.wg.Add(1)
 		go d.acceptLoop(l)
@@ -469,21 +475,31 @@ func (d *daemon) handle(conn net.Conn) {
 			}
 			continue
 		}
-		if len(req) == 1 && req[0] == OpSpillFD {
+		if len(req) == 1 && (req[0] == OpSpillFD || req[0] == OpPoolFD) {
 			// Descriptor passing happens outside the frame writer: the
 			// exchange owns the connection (lock-step, nothing buffered)
-			// and the final byte must ride its own sendmsg.
-			if d.sendFD != nil && !d.opts.NoZeroCopy {
-				switch err := d.sendFD(conn); err {
+			// and the descriptors must ride their own sendmsg. Both fd
+			// ops share one dedicated connection: a client arms spill
+			// and pool passing back to back on the same lock-step
+			// stream.
+			send := d.sendFD
+			if req[0] == OpPoolFD {
+				send = d.sendPoolFD
+			}
+			if send != nil && !d.opts.NoZeroCopy {
+				switch err := send(conn); err {
 				case nil:
 					continue
 				case errZCUnsupported:
-					// TCP connection or portable build: degrade to the
-					// plain refusal below, stream intact.
+					// TCP connection, heap-backed pool, or portable
+					// build: degrade to the plain refusal below, stream
+					// intact.
 				default:
+					d.fdFail.Inc()
 					return // a half-written handshake poisons the stream
 				}
 			}
+			d.fdFail.Inc()
 			if err := writeFrameV1(fw, []byte{StatusBadRequest}); err != nil {
 				return
 			}

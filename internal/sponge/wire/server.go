@@ -76,6 +76,10 @@ func ServeOptions(pool *sponge.Pool, addr string, opts Options) (*Server, error)
 	if s.spill != nil {
 		d.sendFD = s.sendSpillFD
 	}
+	// Pool-fd passing is always offered; sendPoolFD refuses by itself
+	// when the pool's slabs are not file-backed (portable builds, hosts
+	// without memfd) and clients degrade to OpRead.
+	d.sendPoolFD = s.sendPoolFD
 	// Pool state rides along in the scrape as live gauges, labeled by
 	// listen address like the daemon's own series.
 	listen := obs.L("listen", d.addr())
@@ -131,6 +135,31 @@ func (s *Server) sendSpillFD(conn net.Conn) error {
 		return errZCUnsupported
 	}
 	return sendFDOverUnix(uc, int(s.spill.file().Fd()))
+}
+
+// sendPoolFD answers one OpPoolFD exchange: pass the pool's
+// generation-table and segment descriptors over the unix connection's
+// SCM_RIGHTS. Non-unix connections, heap-backed pools, and non-linux
+// builds degrade to errZCUnsupported, which the daemon answers as
+// StatusBadRequest.
+func (s *Server) sendPoolFD(conn net.Conn) error {
+	uc, ok := conn.(*net.UnixConn)
+	if !ok {
+		return errZCUnsupported
+	}
+	meta, segs, err := s.pool.SegmentFiles()
+	if err != nil {
+		return errZCUnsupported
+	}
+	// The hold keeps a concurrent Pool.Close from destroying the
+	// descriptors while the sendmsg is in flight.
+	defer s.pool.ReleaseSegmentFiles()
+	g := poolGeom{
+		segChunks: s.pool.SegmentChunks(),
+		chunks:    s.pool.Chunks(),
+		chunkSize: s.pool.ChunkSize(),
+	}
+	return sendPoolFDsOverUnix(uc, meta, segs, g)
 }
 
 // helloResponse builds the v1-framed reply to OpHello: status, version,
@@ -252,6 +281,26 @@ func (s *Server) dispatch(req []byte) ([]byte, fileRef) {
 		out[0] = StatusOK
 		binary.LittleEndian.PutUint64(out[1:9], uint64(off))
 		binary.LittleEndian.PutUint32(out[9:13], uint32(n))
+		return out, fileRef{}
+	case OpPoolLoc:
+		if len(payload) != 4 {
+			return []byte{StatusBadRequest}, fileRef{}
+		}
+		h := int(binary.LittleEndian.Uint32(payload))
+		if h&SpillHandleBit != 0 {
+			return []byte{StatusBadRequest}, fileRef{}
+		}
+		seg, off, n, gen, err := s.pool.Loc(h)
+		if err != nil {
+			return []byte{errStatus(err)}, fileRef{}
+		}
+		// Pooled: this is the pool-fd fast path's per-read exchange.
+		out := s.d.getBuf(25)
+		out[0] = StatusOK
+		binary.LittleEndian.PutUint32(out[1:5], uint32(seg))
+		binary.LittleEndian.PutUint64(out[5:13], uint64(off))
+		binary.LittleEndian.PutUint32(out[13:17], uint32(n))
+		binary.LittleEndian.PutUint64(out[17:25], gen)
 		return out, fileRef{}
 	case OpStat:
 		out := make([]byte, 13)

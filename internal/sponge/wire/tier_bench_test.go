@@ -47,8 +47,12 @@ func benchTierRead(b *testing.B, opts Options, dial func(*Server) (*Client, erro
 		b.Fatal(err)
 	}
 	if fdPass {
-		if err := c.FetchSpillFD(); err != nil {
-			b.Skipf("fd passing unavailable: %v", err)
+		if spill {
+			if err := c.FetchSpillFD(); err != nil {
+				b.Skipf("fd passing unavailable: %v", err)
+			}
+		} else if err := c.FetchPoolFDs(); err != nil {
+			b.Skipf("pool-fd passing unavailable: %v", err)
 		}
 	}
 	buf := make([]byte, chunk)
@@ -101,4 +105,10 @@ func BenchmarkTierReadSpillFDPread(b *testing.B) {
 	dir := benchSockDir(b)
 	benchTierRead(b, Options{LocalSocketDir: dir, SpillDir: os.TempDir()},
 		func(s *Server) (*Client, error) { return DialLocal(s.LocalSocket()) }, true, true)
+}
+
+func BenchmarkTierReadPoolFDPread(b *testing.B) {
+	dir := benchSockDir(b)
+	benchTierRead(b, Options{LocalSocketDir: dir},
+		func(s *Server) (*Client, error) { return DialLocal(s.LocalSocket()) }, false, true)
 }

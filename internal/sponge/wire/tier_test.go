@@ -522,6 +522,9 @@ func TestWireReadSteadyStateAllocationFree(t *testing.T) {
 		{"spill-fdpass", Options{LocalSocketDir: dir, SpillDir: os.TempDir()},
 			func(s *Server) (*Client, error) { return DialLocal(s.LocalSocket()) },
 			func(c *Client) { c.FetchSpillFD() }},
+		{"pool-fdpass", Options{LocalSocketDir: dir},
+			func(s *Server) (*Client, error) { return DialLocal(s.LocalSocket()) },
+			func(c *Client) { c.FetchPoolFDs() }},
 	} {
 		t.Run(tc.name, func(t *testing.T) {
 			spill := tc.opts.SpillDir != ""

@@ -51,15 +51,20 @@ type Transport struct {
 	closed   bool
 
 	metrics      *obs.Registry
-	tierOps      [3]*obs.Counter // indexed by tierUnix/tierTCP/tierSim
+	tierOps      [4]*obs.Counter // indexed by tierUnix/tierTCP/tierSim/tierPoolFD
 	unixFallback *obs.Counter
+	genMiss      *obs.Counter
 }
 
-// tier indexes for Transport.tierOps.
+// tier indexes for Transport.tierOps. tierPoolFD is not a fourth
+// dial-time tier but a refinement of tierUnix: it additionally counts
+// the unix-tier reads whose payload came from a pread of the passed
+// pool segments rather than the socket.
 const (
 	tierUnix = iota
 	tierTCP
 	tierSim
+	tierPoolFD
 )
 
 // TransportOptions tunes the wire transport's tier selection.
@@ -70,9 +75,10 @@ type TransportOptions struct {
 	// is missing or stale. It must match the servers'
 	// Options.LocalSocketDir.
 	SocketDir string
-	// NoFDPass disables fetching the spill-file descriptor on unix-tier
-	// connections; spilled chunks then travel over the socket (served
-	// zero-copy by the daemon) instead of being pread directly.
+	// NoFDPass disables fetching the spill-file and pool-segment
+	// descriptors on unix-tier connections; spilled and pool-resident
+	// chunks then travel over the socket (served zero-copy by the
+	// daemon where possible) instead of being pread directly.
 	NoFDPass bool
 	// Metrics, when non-nil, receives the transport's tier counters;
 	// nil means a private registry.
@@ -106,7 +112,9 @@ func NewTransportOptions(addrs map[int]string, fallback sponge.Transport, opts T
 	t.tierOps[tierUnix] = t.metrics.Counter("sponge_transport_tier_total", obs.L("tier", "unix"))
 	t.tierOps[tierTCP] = t.metrics.Counter("sponge_transport_tier_total", obs.L("tier", "tcp"))
 	t.tierOps[tierSim] = t.metrics.Counter("sponge_transport_tier_total", obs.L("tier", "sim"))
+	t.tierOps[tierPoolFD] = t.metrics.Counter("sponge_transport_tier_total", obs.L("tier", "pool_fd"))
 	t.unixFallback = t.metrics.Counter("sponge_transport_unix_fallback_total")
+	t.genMiss = t.metrics.Counter("sponge_poolfd_gen_miss_total")
 	return t
 }
 
@@ -202,10 +210,14 @@ func (t *Transport) dialNode(addr string) (*Client, error) {
 			if path, perr := SocketPath(t.opts.SocketDir, addr); perr == nil {
 				if c, derr := DialLocal(path); derr == nil {
 					if !t.opts.NoFDPass {
-						// Best-effort: a server without a spill tier (or a
-						// portable build) just keeps serving spilled reads
-						// over the socket.
-						c.FetchSpillFD()
+						// Best-effort: a server without a spill tier or a
+						// mappable pool (or a portable build) just keeps
+						// serving those reads over the socket. The
+						// counters go in first so an armed client reports
+						// from its very first pread.
+						c.poolFDOps = t.tierOps[tierPoolFD]
+						c.genMiss = t.genMiss
+						c.ArmFDPass()
 					}
 					return c, nil
 				}

@@ -33,3 +33,30 @@ func (z *zeroCopier) sendFile(f *os.File, off, n int64) (int64, error) {
 func sendFDOverUnix(uc *net.UnixConn, fd int) error { return errZCUnsupported }
 
 func recvFDOverUnix(uc *net.UnixConn) (*os.File, error) { return nil, errZCUnsupported }
+
+// poolGeom mirrors the linux build's handshake payload so shared code
+// compiles; no OpPoolFD exchange ever succeeds on this build.
+type poolGeom struct {
+	segChunks int
+	chunks    int
+	chunkSize int
+}
+
+// sendPoolFDsOverUnix and recvPoolFDsOverUnix mirror the spill-fd
+// stubs: servers answer OpPoolFD with StatusBadRequest and clients
+// never attempt the handshake.
+func sendPoolFDsOverUnix(uc *net.UnixConn, meta *os.File, segs []*os.File, g poolGeom) error {
+	return errZCUnsupported
+}
+
+func recvPoolFDsOverUnix(uc *net.UnixConn) (*os.File, []*os.File, poolGeom, error) {
+	return nil, nil, poolGeom{}, errZCUnsupported
+}
+
+// mapPoolMeta and unmapPoolMeta are never reached on this build: no
+// descriptors arrive without recvPoolFDsOverUnix succeeding.
+func mapPoolMeta(meta *os.File, chunks int) ([]byte, []uint64, error) {
+	return nil, nil, errZCUnsupported
+}
+
+func unmapPoolMeta(raw []byte) {}

@@ -4,10 +4,12 @@ package wire
 
 import (
 	"errors"
+	"fmt"
 	"io"
 	"net"
 	"os"
 	"syscall"
+	"unsafe"
 )
 
 // zeroCopyAvailable reports whether this build can serve spill-file
@@ -164,4 +166,142 @@ func recvFDOverUnix(uc *net.UnixConn) (*os.File, error) {
 		return os.NewFile(uintptr(fds[0]), "sponge-spill-fd"), nil
 	}
 	return nil, errors.New("wire: spill-fd response carried no descriptor")
+}
+
+// scmMaxFD is the kernel's per-message SCM_RIGHTS descriptor cap; a
+// pool with more segments than this (minus the generation table) cannot
+// be passed in one handshake and the server refuses.
+const scmMaxFD = 253
+
+// poolGeom is the pool layout that rides the OpPoolFD handshake: the
+// receiver needs it to turn handles into (segment, offset) pairs and to
+// size its view of the generation table.
+type poolGeom struct {
+	segChunks int // chunk capacity of one segment slab
+	chunks    int // total chunk count
+	chunkSize int // real bytes per chunk
+}
+
+// sendPoolFDsOverUnix answers one OpPoolFD exchange on a unix
+// connection: the v1 response frame [StatusOK, nfds] goes out inline,
+// then one sendmsg carries the 12-byte geometry payload with the
+// generation-table descriptor plus every segment descriptor as
+// SCM_RIGHTS ancillary data. The caller guarantees the connection is
+// lock-step with nothing buffered, so the descriptors land exactly on
+// the receiver's recvmsg boundary.
+func sendPoolFDsOverUnix(uc *net.UnixConn, meta *os.File, segs []*os.File, g poolGeom) error {
+	nf := 1 + len(segs)
+	if nf > scmMaxFD {
+		return errZCUnsupported
+	}
+	hdr := [6]byte{2, 0, 0, 0, StatusOK, byte(nf)} // frame length 2, then body
+	if _, err := uc.Write(hdr[:]); err != nil {
+		return err
+	}
+	fds := make([]int, 0, nf)
+	fds = append(fds, int(meta.Fd()))
+	for _, f := range segs {
+		fds = append(fds, int(f.Fd()))
+	}
+	var geom [12]byte
+	putU32(geom[0:4], g.segChunks)
+	putU32(geom[4:8], g.chunks)
+	putU32(geom[8:12], g.chunkSize)
+	_, _, err := uc.WriteMsgUnix(geom[:], syscall.UnixRights(fds...), nil)
+	return err
+}
+
+func putU32(b []byte, v int) {
+	b[0] = byte(v)
+	b[1] = byte(v >> 8)
+	b[2] = byte(v >> 16)
+	b[3] = byte(v >> 24)
+}
+
+func getU32(b []byte) int {
+	return int(uint32(b[0]) | uint32(b[1])<<8 | uint32(b[2])<<16 | uint32(b[3])<<24)
+}
+
+// recvPoolFDsOverUnix performs the client half of the OpPoolFD
+// handshake on a dedicated raw unix connection (like recvFDOverUnix, no
+// buffered reader may sit between). On success the returned files are
+// owned by the caller: the generation table first, then the segments in
+// index order.
+func recvPoolFDsOverUnix(uc *net.UnixConn) (meta *os.File, segs []*os.File, g poolGeom, err error) {
+	if err := writeFrame(uc, []byte{OpPoolFD}); err != nil {
+		return nil, nil, g, err
+	}
+	var hdr [5]byte // frame length + status
+	if _, err := io.ReadFull(uc, hdr[:]); err != nil {
+		return nil, nil, g, err
+	}
+	n := getU32(hdr[0:4])
+	if hdr[4] != StatusOK || n != 2 {
+		if err := statusErr(hdr[4]); err != nil {
+			return nil, nil, g, err
+		}
+		return nil, nil, g, errors.New("wire: malformed pool-fd response")
+	}
+	var nfb [1]byte
+	if _, err := io.ReadFull(uc, nfb[:]); err != nil {
+		return nil, nil, g, err
+	}
+	nf := int(nfb[0])
+	if nf < 1 || nf > scmMaxFD {
+		return nil, nil, g, errors.New("wire: malformed pool-fd response")
+	}
+	buf := make([]byte, 12)
+	oob := make([]byte, syscall.CmsgSpace(4*nf))
+	bn, oobn, _, _, err := uc.ReadMsgUnix(buf, oob)
+	if err != nil {
+		return nil, nil, g, err
+	}
+	var fds []int
+	cmsgs, err := syscall.ParseSocketControlMessage(oob[:oobn])
+	if err == nil {
+		for _, cmsg := range cmsgs {
+			got, perr := syscall.ParseUnixRights(&cmsg)
+			if perr != nil {
+				continue
+			}
+			fds = append(fds, got...)
+		}
+	}
+	if bn != 12 || len(fds) != nf {
+		for _, fd := range fds {
+			syscall.Close(fd)
+		}
+		return nil, nil, g, errors.New("wire: pool-fd response carried wrong descriptors")
+	}
+	g = poolGeom{segChunks: getU32(buf[0:4]), chunks: getU32(buf[4:8]), chunkSize: getU32(buf[8:12])}
+	for _, fd := range fds {
+		syscall.CloseOnExec(fd)
+	}
+	meta = os.NewFile(uintptr(fds[0]), "sponge-pool-meta")
+	segs = make([]*os.File, 0, nf-1)
+	for i, fd := range fds[1:] {
+		segs = append(segs, os.NewFile(uintptr(fd), fmt.Sprintf("sponge-pool-seg-%d", i)))
+	}
+	return meta, segs, g, nil
+}
+
+// mapPoolMeta maps a passed generation-table descriptor read-only and
+// views it as the per-chunk []uint64 the pread fast path checks after
+// each read. The raw mapping is returned for unmapPoolMeta.
+func mapPoolMeta(meta *os.File, chunks int) (raw []byte, gens []uint64, err error) {
+	if chunks == 0 {
+		return nil, nil, nil
+	}
+	raw, err = syscall.Mmap(int(meta.Fd()), 0, chunks*8, syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		return nil, nil, err
+	}
+	return raw, unsafe.Slice((*uint64)(unsafe.Pointer(&raw[0])), chunks), nil
+}
+
+// unmapPoolMeta releases a mapPoolMeta mapping.
+func unmapPoolMeta(raw []byte) {
+	if raw != nil {
+		syscall.Munmap(raw)
+	}
 }

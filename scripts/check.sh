@@ -30,9 +30,10 @@ go test -count=1 -run 'AllocationFree|TestMacroAllocRegressionGuard' \
 	./internal/sponge ./internal/simtime ./internal/bench ./internal/obs
 
 # Wire transport guard: steady-state ReadInto must stay 0 allocs/chunk
-# on every serve path — TCP and unix pool reads, sendfile spill serves
-# (the portable buffered path off-linux), and the fd-passing pread fast
-# path. The server runs in-process, so the guard sees its side too.
+# on all six serve paths — TCP and unix pool reads, sendfile spill
+# serves (the portable buffered path off-linux), and the fd-passing
+# pread fast paths for both the spill file and the memfd pool segments.
+# The server runs in-process, so the guard sees its side too.
 go test -count=1 -run 'TestWireReadSteadyStateAllocationFree' \
 	./internal/sponge/wire
 

@@ -155,3 +155,119 @@ func TestTierIntegrationUnixRoundTrip(t *testing.T) {
 		t.Errorf("%d service buffers leaked", out)
 	}
 }
+
+// TestTierIntegrationPoolFDNoPayloadOnSocket drives a SpongeFile round
+// trip where every remote chunk stays pool-resident (ample pools, no
+// spill tier) over same-host unix sockets. With the pool descriptors
+// passed at dial time, the clients pread every chunk straight from the
+// mapped segments: the servers must see only pool_loc exchanges — not a
+// single OpRead — proving the payloads never crossed the socket.
+func TestTierIntegrationPoolFDNoPayloadOnSocket(t *testing.T) {
+	sockDir, err := os.MkdirTemp("", "sp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { os.RemoveAll(sockDir) })
+
+	cfg := cluster.PaperConfig()
+	cfg.Workers = 4
+	cfg.SpongeMemory = 2 * media.MB
+	sim := simtime.New()
+	c := cluster.New(sim, cfg)
+	scfg := sponge.DefaultConfig()
+	scfg.LocalDiskEnabled = false
+	svc := sponge.Start(c, scfg)
+
+	servers := make(map[int]*wire.Server)
+	addrs := make(map[int]string)
+	for n := 1; n <= 3; n++ {
+		pool := sponge.NewPool(svc.ChunkReal(), 32) // ample: nothing spills
+		srv, err := wire.ServeOptions(pool, "127.0.0.1:0", wire.Options{
+			LocalSocketDir: sockDir,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { srv.Close() })
+		servers[n] = srv
+		addrs[n] = srv.Addr()
+	}
+	tr := wire.NewTransportOptions(addrs, svc.Transport(), wire.TransportOptions{
+		SocketDir: sockDir,
+	})
+	t.Cleanup(func() { tr.Close() })
+	svc.SetTransport(tr)
+
+	chunk := svc.ChunkReal()
+	data := make([]byte, 9*chunk+chunk/2)
+	for i := range data {
+		data[i] = byte(i*13 + 5)
+	}
+	sim.Spawn("task", func(p *simtime.Proc) {
+		agent := svc.NewAgent(c.Nodes[0])
+		defer agent.Close()
+		f := agent.Create(p, "poolfd-it")
+		if err := f.Write(p, data); err != nil {
+			t.Errorf("write: %v", err)
+			return
+		}
+		if err := f.Close(p); err != nil {
+			t.Errorf("close: %v", err)
+			return
+		}
+		got := make([]byte, 0, len(data))
+		buf := make([]byte, chunk)
+		for {
+			n, err := f.Read(p, buf)
+			if err != nil {
+				t.Errorf("read: %v", err)
+				return
+			}
+			if n == 0 {
+				break
+			}
+			got = append(got, buf[:n]...)
+		}
+		if !bytes.Equal(got, data) {
+			t.Error("read-back corrupt across the pool-fd tier")
+		}
+		f.Delete(p)
+	})
+	sim.MustRun()
+
+	samples, err := obs.ParseText(tr.Metrics().Text())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := samples[`sponge_transport_tier_total{tier="tcp"}`]; n != 0 {
+		t.Errorf("%d operations leaked onto TCP despite live sockets", n)
+	}
+	if samples[`sponge_transport_tier_total{tier="unix"}`] == 0 {
+		t.Fatal("no operations took the unix tier")
+	}
+	if samples[`sponge_transport_tier_total{tier="pool_fd"}`] == 0 {
+		// Portable build, or a host whose pool cannot be file-backed:
+		// the reads were still correct, just served over the socket.
+		t.Skip("pool-fd fast path unavailable on this host")
+	}
+	if n := samples[`sponge_poolfd_gen_miss_total`]; n != 0 {
+		t.Errorf("%d generation misses in an uncontended run, want 0", n)
+	}
+	// Placement may favour one remote node, so pool_loc traffic is
+	// asserted in aggregate; OpRead must be absent on every server.
+	var locs int64
+	for n, srv := range servers {
+		ss, err := obs.ParseText(srv.Metrics().Text())
+		if err != nil {
+			t.Fatal(err)
+		}
+		labels := `{listen="` + srv.Addr() + `",op="`
+		if reads := ss["spongewire_requests_total"+labels+`read"}`]; reads != 0 {
+			t.Errorf("server %d answered %d OpReads; pool payloads crossed the socket", n, reads)
+		}
+		locs += ss["spongewire_requests_total"+labels+`pool_loc"}`]
+	}
+	if locs == 0 {
+		t.Error("no server saw a pool_loc exchange despite pool-fd preads")
+	}
+}
