@@ -43,4 +43,10 @@ bench-readahead:
 bench-tier:
 	go run ./cmd/benchtab -out BENCH_wire.json tier
 
-.PHONY: tier1 tier2 stats-smoke bench-wire bench bench-faults bench-readahead bench-tier
+# Tracker dissemination at scale: tracker messages per node per second,
+# full-poll vs delta, at 100 and 1000 simulated nodes under identical
+# churn; regenerates BENCH_tracker.json.
+bench-tracker:
+	go run ./cmd/benchtab -out BENCH_tracker.json tracker
+
+.PHONY: tier1 tier2 stats-smoke bench-wire bench bench-faults bench-readahead bench-tier bench-tracker

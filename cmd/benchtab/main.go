@@ -8,6 +8,7 @@
 //	benchtab [-out file.json] [-stats file.json] faults
 //	benchtab [-out file.json] [-stats file.json] readahead
 //	benchtab [-out BENCH_wire.json] tier
+//	benchtab [-out BENCH_tracker.json] tracker
 //
 // -size scales the macro datasets (1.0 = the paper's 10 GB inputs).
 //
@@ -37,6 +38,12 @@
 // the tier_ladder section of an existing BENCH_wire.json given via
 // -out, leaving the protocol-benchmark sections untouched. Also not
 // part of "all".
+//
+// The tracker experiment sweeps simulated cluster size under the
+// paper's full-poll free-space dissemination and under delta
+// dissemination, with identical churn, recording tracker messages per
+// node per second (checked in as BENCH_tracker.json). Also not part of
+// "all".
 package main
 
 import (
@@ -77,6 +84,10 @@ func main() {
 	}
 	if which == "tier" {
 		tier(*perfOut)
+		return
+	}
+	if which == "tracker" {
+		tracker(*perfOut)
 		return
 	}
 	run := func(name string, fn func()) {
@@ -170,6 +181,21 @@ func tier(out string) {
 			os.Exit(1)
 		}
 		fmt.Printf("tier ladder patched into %s\n", out)
+	}
+}
+
+func tracker(out string) {
+	cfg := bench.DefaultTracker()
+	fmt.Printf("== Tracker dissemination at scale: full poll vs delta (%d s, %d churn ops/s) ==\n",
+		cfg.Seconds, cfg.ChurnPerSec)
+	cells := bench.RunTracker(cfg)
+	fmt.Println(bench.FormatTable(bench.TrackerHeader, bench.TrackerRows(cells)))
+	if out != "" {
+		if err := os.WriteFile(out, bench.TrackerJSON(cfg, cells), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "write %s: %v\n", out, err)
+			os.Exit(1)
+		}
+		fmt.Printf("report written to %s\n", out)
 	}
 }
 

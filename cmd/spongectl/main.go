@@ -14,7 +14,8 @@
 //	spongectl demo    [-chunk 65536] [-chunks 64] [-conns 4]
 //	spongectl cluster [-nodes 3] [-chunks 32] [-mb 200] [-drop 0.1]
 //	                  [-readahead 4] [-local-socket-dir /tmp]
-//	                  [-no-fd-pass] ...
+//	                  [-no-fd-pass] [-tracker-replicas 1]
+//	                  [-kill-tracker 2s] [-delta] ...
 //
 // "serve" runs a sponge server until interrupted; -local-socket-dir
 // adds a same-host unix-socket listener, -spill-dir a disk-spill
@@ -37,9 +38,15 @@
 // traffic skips the TCP stack; on linux the transport also pulls each
 // child's spill-file and memfd pool-segment descriptors over SCM_RIGHTS
 // so chunk reads become local preads whose payloads never cross the
-// socket (-no-fd-pass turns both fast paths off). After the round trip
-// it scrapes every child over OpMetrics and prints the per-node table
-// (including the transport-tier, fd-pass, and zero-copy counters).
+// socket (-no-fd-pass turns both fast paths off). With -tracker-replicas
+// the simulated tracker runs with warm standbys, and -kill-tracker fails
+// it at the given virtual time mid-run so the watchdog's failover (and
+// the handed-off snapshot it promotes) is visible in the transcript;
+// -delta switches free-space dissemination from the 1/s full poll to
+// server-pushed incremental updates. After the round trip it scrapes
+// every child over OpMetrics and prints the per-node table (including
+// the transport-tier, fd-pass, zero-copy, tracker, and membership
+// counters).
 package main
 
 import (
@@ -258,6 +265,9 @@ func clusterMain(args []string) {
 	seed := fs.Int64("seed", 1, "fault stream seed")
 	readahead := fs.Int("readahead", 0, "readahead window depth (0 = service default, 1 = seed-compatible single slot)")
 	noFDPass := fs.Bool("no-fd-pass", false, "do not arm the SCM_RIGHTS fd-passing fast paths (spill-file and pool-segment preads) on same-host unix connections")
+	trackerReplicas := fs.Int("tracker-replicas", 0, "warm standby trackers shadowing the leader (0 = standalone)")
+	killTracker := fs.Duration("kill-tracker", 0, "virtual time at which to fail the tracker mid-run (0 = never; pair with -tracker-replicas to watch the failover)")
+	delta := fs.Bool("delta", false, "delta free-space dissemination instead of the 1/s full poll")
 	opts := serveOptions(fs)
 	fs.Parse(args)
 
@@ -274,7 +284,22 @@ func clusterMain(args []string) {
 	// degrade the way the paper's allocator does, not fail.
 	scfg := sponge.DefaultConfig()
 	scfg.ReadAheadDepth = *readahead
+	scfg.TrackerReplicas = *trackerReplicas
+	scfg.DeltaDissemination = *delta
 	svc := sponge.Start(c, scfg)
+	if *killTracker > 0 {
+		// Not a daemon: the proc keeps the simulation alive past the
+		// watchdog's next check, so the failover happens even when the
+		// demo job itself finishes earlier in virtual time.
+		sim.Spawn("trackerkiller", func(p *simtime.Proc) {
+			p.Sleep(simtime.Duration(*killTracker))
+			fmt.Printf("failing tracker on node%d at %v virtual\n", svc.Tracker.Node().ID, *killTracker)
+			svc.FailTracker()
+			p.Sleep(2 * svc.Config.PollInterval)
+			fmt.Printf("watchdog outcome: tracker on node%d, leader epoch %d, %d failovers\n",
+				svc.Tracker.Node().ID, svc.Tracker.LeaderEpoch(), svc.Failovers())
+		})
+	}
 
 	exe, err := os.Executable()
 	if err != nil {
@@ -414,6 +439,15 @@ func clusterMain(args []string) {
 		fmt.Printf("faults: %d exchanges, %d dropped, %d fast errors\n",
 			fs.Exchanges, fs.Drops, fs.FastErrs)
 	}
+	polls, queries := svc.Tracker.Stats()
+	fmt.Printf("tracker: node%d, leader epoch %d, %d failovers, %d polls, %d queries; membership epoch %d\n",
+		svc.Tracker.Node().ID, svc.Tracker.LeaderEpoch(), svc.Failovers(), polls, queries,
+		svc.MembershipEpoch())
+	if *delta {
+		applied, stale := svc.Tracker.DeltaStats()
+		fmt.Printf("delta dissemination: %d incremental updates applied, %d stale dropped\n",
+			applied, stale)
+	}
 	for n := 1; n <= *nodes; n++ {
 		cl, err := wire.Dial(addrs[n])
 		if err != nil {
@@ -454,9 +488,15 @@ func clusterMain(args []string) {
 		"sponge_spill", "sponge_retries", "sponge_ra_", "sponge_fault",
 		"sponge_candidates", "sponge_transport_tier_total",
 		"sponge_transport_unix_fallback_total", "sponge_poolfd_gen_miss_total",
+		"sponge_tracker_leader_epoch", "sponge_tracker_failovers_total",
+		"sponge_tracker_msgs_total", "sponge_tracker_updates_total",
+		"sponge_membership_epoch", "sponge_membership_changes_total",
+		"sponge_evacuated_chunks_total", "sponge_peer_revocations_total",
+		"sponge_transport_peer_revocations_total",
 		"spongewire_requests_total", "spongewire_connections_total",
 		"spongewire_serve_zero_copy_bytes_total", "spongewire_spill_allocs_total",
-		"spongewire_fdpass_fail_total"); err != nil {
+		"spongewire_fdpass_fail_total", "spongewire_tracker_",
+		"spongewire_delta_"); err != nil {
 		fatal(err)
 	}
 }

@@ -174,6 +174,32 @@ func New(sim *simtime.Sim, cfg Config) *Cluster {
 	return c
 }
 
+// AddNode grows a live cluster by one worker node, mirroring New's
+// construction: the node receives the same hardware carve-up and the
+// rack its ID implies. Clusters built rack-structured (Workers >
+// NodesPerRack) attach the new NIC to its rack uplink; clusters built
+// flat keep the flat switch — the switch topology is fixed at
+// construction, only membership is elastic.
+func (c *Cluster) AddNode() *Node {
+	i := len(c.Nodes)
+	name := fmt.Sprintf("node%d", i)
+	n := &Node{
+		ID:          i,
+		Rack:        i / c.Cfg.NodesPerRack,
+		cfg:         c.Cfg,
+		Disk:        media.NewDisk(c.Sim, name+".disk", c.Cfg.Hardware, c.Cfg.CacheBytes()),
+		NIC:         c.Net.NewNIC(name),
+		Bus:         media.NewMemBus(c.Cfg.Hardware),
+		MapSlots:    simtime.NewResource(c.Sim, name+".mapslots", max1(c.Cfg.MapSlots)),
+		ReduceSlots: simtime.NewResource(c.Sim, name+".reduceslots", max1(c.Cfg.ReduceSlots)),
+	}
+	c.Nodes = append(c.Nodes, n)
+	if c.Cfg.Workers > c.Cfg.NodesPerRack {
+		c.Net.AssignRack(n.NIC, n.Rack)
+	}
+	return n
+}
+
 func max1(v int) int {
 	if v < 1 {
 		return 1

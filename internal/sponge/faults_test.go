@@ -288,6 +288,181 @@ func TestWatchdogReelectionUnderPollDrops(t *testing.T) {
 	r.sim.MustRun()
 }
 
+// TestSimultaneousTrackerAndStorageDeath kills the tracker's host and a
+// storage node in the same instant, under a seeded drop schedule: the
+// watchdog must still elect a successor, chunks on the dead storage node
+// are reported lost (and only those), and a job started after the
+// double failure completes using the survivors.
+func TestSimultaneousTrackerAndStorageDeath(t *testing.T) {
+	r := newRig(t, 4, 4, func(c *ServiceConfig) { c.PollInterval = 500 * simtime.Millisecond })
+	faults := NewFaultTransport(r.svc.Transport(), FaultConfig{Seed: 11, DropRate: 0.05})
+	r.svc.SetTransport(faults)
+
+	data := pattern(8*r.svc.ChunkReal(), 10)
+	r.sim.Spawn("task", func(p *simtime.Proc) {
+		agent := r.svc.NewAgent(r.c.Nodes[0])
+		defer agent.Close()
+		f := agent.Create(p, "before")
+		if err := f.Write(p, data); err != nil {
+			t.Errorf("write: %v", err)
+			return
+		}
+		if err := f.Close(p); err != nil {
+			t.Errorf("close: %v", err)
+			return
+		}
+		if f.Stats().ByKind[RemoteMem] != 4 {
+			t.Errorf("placement before the failures: %+v", f.Stats().ByKind)
+		}
+		// Affinity put the remote chunks on node 1; the local chunks and
+		// the tracker share node 0. Kill both hosts at once.
+		r.svc.FailNode(0) // tracker host and the file's local chunks
+		r.svc.FailNode(1) // the file's remote chunks
+		p.Sleep(3 * r.svc.Config.PollInterval)
+
+		if r.svc.Failovers() != 1 {
+			t.Errorf("failovers = %d, want 1", r.svc.Failovers())
+		}
+		if got := r.svc.Tracker.Node().ID; got != 2 {
+			t.Errorf("tracker elected on node %d, want 2 (lowest live)", got)
+		}
+		// Every chunk of the old file is gone with its hosts.
+		buf := make([]byte, 100)
+		if _, err := f.Read(p, buf); !errors.Is(err, ErrChunkLost) {
+			t.Errorf("read of doubly-orphaned file = %v, want ErrChunkLost", err)
+		}
+
+		// A fresh job on a survivor must complete: 4 local on node 2,
+		// 4 remote on node 3, zero lost.
+		agent2 := r.svc.NewAgent(r.c.Nodes[2])
+		defer agent2.Close()
+		f2 := agent2.Create(p, "after")
+		if err := f2.Write(p, data); err != nil {
+			t.Errorf("write after double death: %v", err)
+			return
+		}
+		if err := f2.Close(p); err != nil {
+			t.Errorf("close after double death: %v", err)
+			return
+		}
+		st := f2.Stats()
+		if st.ByKind[RemoteMem] != 4 || st.ByKind[LocalDisk] != 0 {
+			t.Errorf("post-failure placement: %+v", st.ByKind)
+		}
+		f2.Delete(p)
+	})
+	r.sim.MustRun()
+}
+
+// TestAsymmetricPartitionReelection: the tracker host dies while the
+// surviving cluster is asymmetrically partitioned — the successor can
+// reach one server but not the other, while a third node reaches both.
+// Election must proceed from the successor's partial view: the
+// unreachable server drops off the free list (drops attributed to it),
+// the reachable one stays, and healing restores the full view.
+func TestAsymmetricPartitionReelection(t *testing.T) {
+	r := newRig(t, 4, 8, func(c *ServiceConfig) { c.PollInterval = 500 * simtime.Millisecond })
+	faults := NewFaultTransport(r.svc.Transport(), FaultConfig{Seed: 13})
+	r.svc.SetTransport(faults)
+
+	r.sim.Spawn("chaos", func(p *simtime.Proc) {
+		// Node 1 (next in election order) cannot reach node 2; node 3
+		// still reaches everyone — the classic asymmetric split-view.
+		faults.Cut(1, 2)
+		r.svc.FailNode(0)
+		p.Sleep(3 * r.svc.Config.PollInterval)
+
+		nt := r.svc.Tracker
+		if r.svc.Failovers() == 0 {
+			t.Error("watchdog never re-elected under the asymmetric partition")
+		}
+		if nt.Node().ID != 1 {
+			t.Errorf("tracker elected on node %d, want 1", nt.Node().ID)
+		}
+		// The successor's view: node 2 invisible, node 3 visible.
+		if nt.snapshot[2] != 0 {
+			t.Errorf("unreachable node 2 advertises %d chunks", nt.snapshot[2])
+		}
+		if nt.snapshot[3] == 0 {
+			t.Error("reachable node 3 missing from the free list")
+		}
+		if got := nt.PollDropsFor(2); got == 0 || got != nt.PollDrops() {
+			t.Errorf("node 2 attributed %d of %d poll drops", got, nt.PollDrops())
+		}
+
+		// A task on node 3 (which reaches both) allocates remotely via
+		// the tracker's partial view: chunks go to node 2? No — the
+		// tracker cannot advertise what it cannot see. They go to node 1.
+		agent := r.svc.NewAgent(r.c.Nodes[3])
+		defer agent.Close()
+		f := agent.Create(p, "partial-view")
+		if err := f.Write(p, pattern(10*r.svc.ChunkReal(), 11)); err != nil {
+			t.Errorf("write: %v", err)
+		}
+		if err := f.Close(p); err != nil {
+			t.Errorf("close: %v", err)
+		}
+		st := f.Stats()
+		if st.ByKind[RemoteMem] != 2 {
+			t.Errorf("placement under partial view: %+v", st.ByKind)
+		}
+		if used := r.svc.Servers[1].Pool().Chunks() - r.svc.Servers[1].Pool().Free(); used != 2 {
+			t.Errorf("node 1 holds %d chunks, want 2 (the only advertised server)", used)
+		}
+		f.Delete(p)
+
+		// Heal: the next poll restores node 2 to the free list.
+		faults.Heal(1, 2)
+		p.Sleep(2 * r.svc.Config.PollInterval)
+		if nt.snapshot[2] == 0 {
+			t.Error("healed node 2 still invisible")
+		}
+	})
+	r.sim.MustRun()
+}
+
+// TestLeaveUnderPartitionAbortsThenSucceeds: a planned leave whose only
+// evacuation target is unreachable must abort and restore the node to
+// live service; after the partition heals the same leave succeeds and
+// the relocated chunks still round-trip.
+func TestLeaveUnderPartitionAbortsThenSucceeds(t *testing.T) {
+	r := newRig(t, 3, 4, nil)
+	faults := NewFaultTransport(r.svc.Transport(), FaultConfig{Seed: 17})
+	r.svc.SetTransport(faults)
+
+	data := pattern(8*r.svc.ChunkReal(), 12)
+	r.sim.Spawn("task", func(p *simtime.Proc) {
+		agent := r.svc.NewAgent(r.c.Nodes[0])
+		defer agent.Close()
+		f := agent.Create(p, "spill")
+		if err := f.Write(p, data); err != nil {
+			t.Errorf("write: %v", err)
+		}
+		if err := f.Close(p); err != nil {
+			t.Errorf("close: %v", err)
+		}
+		// Remote chunks live on node 1; node 2 is the only possible
+		// evacuation target. Cut it off.
+		faults.Cut(1, 2)
+		if err := r.svc.LeaveNode(p, 1); err == nil {
+			t.Fatal("leave succeeded across a cut link")
+		}
+		if st := r.svc.NodeState(1); st != NodeLive {
+			t.Fatalf("state after aborted leave = %s, want live", st)
+		}
+		faults.Heal(1, 2)
+		if err := r.svc.LeaveNode(p, 1); err != nil {
+			t.Fatalf("leave after heal: %v", err)
+		}
+		got := readAll(t, p, f, len(data))
+		if !bytes.Equal(got, data) {
+			t.Error("round trip corrupt after healed leave")
+		}
+		f.Delete(p)
+	})
+	r.sim.MustRun()
+}
+
 // TestReadSurfacesChunkLostAfterRetries: a remote chunk whose host
 // stays unreachable through the retry budget is reported lost with
 // ErrChunkLost, the same verdict a failed node gets.

@@ -61,6 +61,24 @@ type svcMetrics struct {
 	trackerLastPoll  *obs.Gauge
 	trackerDrops     []*obs.Counter // per polled node
 
+	// Tracker replication and delta dissemination.
+	trackerLeaderEpoch  *obs.Gauge
+	trackerPromotions   *obs.Counter // warm standby promotions
+	trackerHandoffs     *obs.Counter // leader -> standby state pushes
+	trackerUpdatesFull  *obs.Counter // snapshot entries refreshed by polls
+	trackerUpdatesDelta *obs.Counter
+	trackerDeltaStale   *obs.Counter // out-of-sequence reports dropped
+	trackerMsgsPoll     *obs.Counter // poll exchanges attempted
+	trackerMsgsDelta    *obs.Counter // delta pushes received
+
+	// Elastic membership.
+	membershipEpoch  *obs.Gauge
+	membershipJoins  *obs.Counter
+	membershipLeaves *obs.Counter
+	membershipFails  *obs.Counter
+	evacuatedChunks  *obs.Counter
+	peerRevocations  *obs.Counter
+
 	// Per-node server counters.
 	remoteAllocs     []*obs.Counter
 	remoteAllocFails []*obs.Counter
@@ -86,22 +104,39 @@ func newSvcMetrics(reg *obs.Registry, clock obs.Clock, nnodes int) *svcMetrics {
 		trackerQueries:      reg.Counter("sponge_tracker_queries_total"),
 		trackerFailovers:    reg.Counter("sponge_tracker_failovers_total"),
 		trackerLastPoll:     reg.Gauge("sponge_tracker_last_poll_ns"),
-		trackerDrops:        make([]*obs.Counter, nnodes),
-		remoteAllocs:        make([]*obs.Counter, nnodes),
-		remoteAllocFails:    make([]*obs.Counter, nnodes),
-		gcFreed:             make([]*obs.Counter, nnodes),
+		trackerLeaderEpoch:  reg.Gauge("sponge_tracker_leader_epoch"),
+		trackerPromotions:   reg.Counter("sponge_tracker_promotions_total"),
+		trackerHandoffs:     reg.Counter("sponge_tracker_handoffs_total"),
+		trackerUpdatesFull:  reg.Counter("sponge_tracker_updates_total", obs.L("kind", "full")),
+		trackerUpdatesDelta: reg.Counter("sponge_tracker_updates_total", obs.L("kind", "delta")),
+		trackerDeltaStale:   reg.Counter("sponge_tracker_delta_stale_total"),
+		trackerMsgsPoll:     reg.Counter("sponge_tracker_msgs_total", obs.L("kind", "poll")),
+		trackerMsgsDelta:    reg.Counter("sponge_tracker_msgs_total", obs.L("kind", "delta")),
+		membershipEpoch:     reg.Gauge("sponge_membership_epoch"),
+		membershipJoins:     reg.Counter("sponge_membership_changes_total", obs.L("kind", "join")),
+		membershipLeaves:    reg.Counter("sponge_membership_changes_total", obs.L("kind", "leave")),
+		membershipFails:     reg.Counter("sponge_membership_changes_total", obs.L("kind", "fail")),
+		evacuatedChunks:     reg.Counter("sponge_evacuated_chunks_total"),
+		peerRevocations:     reg.Counter("sponge_peer_revocations_total"),
 	}
 	for k, name := range kindNames {
 		m.spill[k] = reg.Counter("sponge_spill_chunks_total", obs.L("kind", name))
 	}
-	for i := 0; i < nnodes; i++ {
-		node := obs.L("node", strconv.Itoa(i))
-		m.trackerDrops[i] = reg.Counter("sponge_tracker_poll_drops_total", node)
-		m.remoteAllocs[i] = reg.Counter("sponge_remote_allocs_total", node)
-		m.remoteAllocFails[i] = reg.Counter("sponge_remote_alloc_fails_total", node)
-		m.gcFreed[i] = reg.Counter("sponge_gc_freed_chunks_total", node)
-	}
+	m.ensureNodes(nnodes)
 	return m
+}
+
+// ensureNodes grows the per-node counter registries to cover n nodes.
+// Called at Start and again on every membership join, so hot paths can
+// keep indexing by node ID across elastic growth.
+func (m *svcMetrics) ensureNodes(n int) {
+	for i := len(m.trackerDrops); i < n; i++ {
+		node := obs.L("node", strconv.Itoa(i))
+		m.trackerDrops = append(m.trackerDrops, m.reg.Counter("sponge_tracker_poll_drops_total", node))
+		m.remoteAllocs = append(m.remoteAllocs, m.reg.Counter("sponge_remote_allocs_total", node))
+		m.remoteAllocFails = append(m.remoteAllocFails, m.reg.Counter("sponge_remote_alloc_fails_total", node))
+		m.gcFreed = append(m.gcFreed, m.reg.Counter("sponge_gc_freed_chunks_total", node))
+	}
 }
 
 // registerGauges wires the callback-backed gauges — pool depth and
@@ -110,20 +145,7 @@ func newSvcMetrics(reg *obs.Registry, clock obs.Clock, nnodes int) *svcMetrics {
 // registry shared across services reflects the latest service.
 func (m *svcMetrics) registerGauges(s *Service) {
 	for i, srv := range s.Servers {
-		node := obs.L("node", strconv.Itoa(i))
-		pool := srv.Pool()
-		m.reg.GaugeFunc("sponge_pool_free_chunks", func() int64 {
-			return int64(pool.Free())
-		}, node)
-		m.reg.GaugeFunc("sponge_pool_high_water", func() int64 {
-			return int64(pool.Stats().HighWater)
-		}, node)
-		m.reg.GaugeFunc("sponge_pool_owner_tasks", func() int64 {
-			return int64(pool.Stats().Owners)
-		}, node)
-		m.reg.GaugeFunc("sponge_pool_pinned_readers", func() int64 {
-			return int64(pool.Stats().Pinned)
-		}, node)
+		m.registerNodeGauges(i, srv)
 	}
 	m.reg.GaugeFunc("sponge_buf_outstanding", func() int64 {
 		return s.BufPoolStats().Outstanding()
@@ -131,6 +153,25 @@ func (m *svcMetrics) registerGauges(s *Service) {
 	m.reg.GaugeFunc("sponge_buf_cached", func() int64 {
 		return int64(s.BufPoolStats().Cached)
 	})
+}
+
+// registerNodeGauges wires one node's pool gauges; membership joins
+// call it for each node added after Start.
+func (m *svcMetrics) registerNodeGauges(i int, srv *Server) {
+	node := obs.L("node", strconv.Itoa(i))
+	pool := srv.Pool()
+	m.reg.GaugeFunc("sponge_pool_free_chunks", func() int64 {
+		return int64(pool.Free())
+	}, node)
+	m.reg.GaugeFunc("sponge_pool_high_water", func() int64 {
+		return int64(pool.Stats().HighWater)
+	}, node)
+	m.reg.GaugeFunc("sponge_pool_owner_tasks", func() int64 {
+		return int64(pool.Stats().Owners)
+	}, node)
+	m.reg.GaugeFunc("sponge_pool_pinned_readers", func() int64 {
+		return int64(pool.Stats().Pinned)
+	}, node)
 }
 
 // event appends one chunk-lifecycle record to the trace ring. medium is

@@ -28,6 +28,11 @@ type Server struct {
 	// Stats.
 	remoteAllocs, remoteAllocFails int64
 	gcFreed                        int64
+
+	// deltaSeq numbers this server's incremental free-space reports
+	// under delta dissemination; the tracker drops reports at or below
+	// its last acked sequence.
+	deltaSeq uint64
 }
 
 func newServer(svc *Service, node *cluster.Node, pool *Pool) *Server {
@@ -88,6 +93,13 @@ func (s *Server) AllocWriteRemote(p *simtime.Proc, from *cluster.Node, owner Tas
 	// Control query first: "do you still have space?" — cheap when the
 	// tracker's information was stale.
 	s.svc.Cluster.RPC(p, from, s.node, ctlBytes, ctlBytes)
+	if s.svc.retiring(s.node.ID) {
+		// Draining for a planned leave: refuse new chunks like any
+		// stale-free-list miss; the caller falls to its next candidate.
+		s.remoteAllocFails++
+		s.svc.metrics.remoteAllocFails[s.node.ID].Inc()
+		return 0, ErrNoFreeChunk
+	}
 	h, err := s.pool.Alloc(owner)
 	if err != nil {
 		s.remoteAllocFails++

@@ -68,6 +68,24 @@ type ServiceConfig struct {
 	// LocalDiskEnabled allows the local-disk fallback; disable to force
 	// the RemoteStore path in tests.
 	LocalDiskEnabled bool
+	// TrackerReplicas is how many warm standby trackers shadow the
+	// leader. The leader hands its snapshot off to every standby each
+	// poll cycle, so a failover promotes a standby and serves from the
+	// handed-off state instead of cold-starting with a full re-poll. 0
+	// (the default) reproduces the paper's single stateless tracker.
+	TrackerReplicas int
+	// DeltaDissemination replaces the 1/s full-cluster poll with
+	// sequence-numbered incremental reports: each server pushes its free
+	// count to the tracker leader only when it changed since the last
+	// acked report, and the leader runs a full-snapshot anti-entropy
+	// poll every AntiEntropyEvery cycles to reconcile anything the
+	// deltas missed. Off by default — the full poll is the paper's
+	// behaviour and the seed-golden baselines pin it.
+	DeltaDissemination bool
+	// AntiEntropyEvery is, under DeltaDissemination, how many poll
+	// intervals pass between anti-entropy full polls; 0 means the
+	// default (10).
+	AntiEntropyEvery int
 	// Remote is the distributed-filesystem last resort; may be nil.
 	Remote RemoteStore
 	// DisableBufferRecycling turns off the service's chunk-buffer pool,
@@ -126,8 +144,17 @@ type Service struct {
 	// service (staging, async hand-off, fetch, prefetch).
 	bufs *bufPool
 
-	// dead marks failed nodes; failovers counts tracker re-elections.
-	dead      []bool
+	// memberState tracks each node's membership lifecycle (live,
+	// leaving, dead, departed); memberEpoch bumps on every change.
+	// forwards maps evacuated chunks to their new homes — nil until the
+	// first planned leave, so static-membership reads pay one nil check.
+	memberState []NodeState
+	memberEpoch int64
+	forwards    map[chunkAddr]chunkAddr
+
+	// standbys are warm tracker replicas awaiting promotion (in leader
+	// succession order); failovers counts tracker re-elections.
+	standbys  []*Tracker
 	failovers int
 
 	// metrics holds the pre-registered observability handles the hot
@@ -167,11 +194,14 @@ func Start(c *cluster.Cluster, cfg ServiceConfig) *Service {
 	} else if cfg.ReadAheadDepth < 1 {
 		cfg.ReadAheadDepth = 1
 	}
+	if cfg.AntiEntropyEvery <= 0 {
+		cfg.AntiEntropyEvery = 10
+	}
 	s := &Service{
-		Cluster:   c,
-		Config:    cfg,
-		chunkReal: c.Cfg.R(cfg.ChunkVirtual),
-		dead:      make([]bool, len(c.Nodes)),
+		Cluster:     c,
+		Config:      cfg,
+		chunkReal:   c.Cfg.R(cfg.ChunkVirtual),
+		memberState: make([]NodeState, len(c.Nodes)),
 	}
 	s.transport = simTransport{s}
 	s.peers = make([]Peer, len(c.Nodes))
@@ -193,11 +223,21 @@ func Start(c *cluster.Cluster, cfg ServiceConfig) *Service {
 	}
 	s.metrics.registerGauges(s)
 	s.Tracker = newTracker(s, c.Nodes[0])
+	s.Tracker.leaderEpoch = 1
+	s.metrics.trackerLeaderEpoch.Set(1)
 	// The service is deployed long before any task runs; seed the
 	// tracker's snapshot so allocation works from virtual time zero
 	// instead of racing the first poll.
 	for i, srv := range s.Servers {
 		s.Tracker.snapshot[i] = srv.FreeChunks()
+	}
+	if cfg.TrackerReplicas > 0 {
+		s.recruitStandbys()
+	}
+	if cfg.DeltaDissemination {
+		for _, srv := range s.Servers {
+			c.Sim.SpawnDaemon(fmt.Sprintf("spongedelta@%s", srv.node.Name()), srv.deltaReportLoop)
+		}
 	}
 	c.Sim.SpawnDaemon("tracker", s.trackerLoop)
 	c.Sim.SpawnDaemon("tracker.watchdog", s.watchdogLoop)

@@ -8,27 +8,50 @@ import (
 	"spongefiles/internal/simtime"
 )
 
-// Tracker is the cluster's memory tracking server (§3.1.1): a stateless
-// daemon, hosted on one node, that periodically polls every sponge
-// server for free space and answers SpongeFile queries with the latest
-// (possibly stale) list of servers that had free memory. Staleness is the
-// design's deliberate trade: lightweight allocation over a perfectly
-// consistent global view.
+// Tracker is the cluster's memory tracking server (§3.1.1): a daemon,
+// hosted on one node, that maintains a per-server free-space snapshot
+// and answers SpongeFile queries with the latest (possibly stale) list
+// of servers that had free memory. Staleness is the design's deliberate
+// trade: lightweight allocation over a perfectly consistent global view.
+//
+// The snapshot refreshes one of two ways. The paper's full poll stats
+// every server each PollInterval. With ServiceConfig.DeltaDissemination
+// the servers push sequence-numbered incremental reports instead —
+// only when their count changed — and the poll degrades to a periodic
+// anti-entropy sweep, so tracker traffic scales with churn rather than
+// cluster size.
+//
+// With ServiceConfig.TrackerReplicas the tracker is replicated: the
+// leader hands its state off to warm standbys every cycle, and a
+// failover promotes one under a new leader epoch instead of cold-
+// starting with a full re-poll.
 type Tracker struct {
 	svc  *Service
 	node *cluster.Node
 
-	// snapshot is the free-chunk count per node as of the last poll.
+	// snapshot is the free-chunk count per node as of the last update;
+	// ackedSeq is the highest delta sequence applied per node. Both grow
+	// on membership join.
 	snapshot []int
+	ackedSeq []uint64
 	lastPoll simtime.Time
 	polls    int64
 	queries  int64
+	// leaderEpoch is bumped on every promotion, so queries and handoffs
+	// are attributable to one leadership term. down marks a crashed
+	// tracker process (the host may still serve chunks).
+	leaderEpoch int64
+	down        bool
 	// pollDrops counts per-server polls lost in the network even after
 	// retrying; the server is recorded as having no free space until a
 	// later poll reaches it (the stale-free-list trade of §3.1.1).
 	// pollDropsNode attributes the same drops to the polled node.
 	pollDrops     int64
 	pollDropsNode []int64
+	// Delta-dissemination accounting: incremental updates applied and
+	// stale (out-of-sequence) reports dropped.
+	deltaUpdates int64
+	staleDeltas  int64
 }
 
 func newTracker(svc *Service, node *cluster.Node) *Tracker {
@@ -36,6 +59,7 @@ func newTracker(svc *Service, node *cluster.Node) *Tracker {
 		svc:           svc,
 		node:          node,
 		snapshot:      make([]int, len(svc.Cluster.Nodes)),
+		ackedSeq:      make([]uint64, len(svc.Cluster.Nodes)),
 		pollDropsNode: make([]int64, len(svc.Cluster.Nodes)),
 	}
 }
@@ -43,33 +67,77 @@ func newTracker(svc *Service, node *cluster.Node) *Tracker {
 // Node returns the tracker's host.
 func (t *Tracker) Node() *cluster.Node { return t.node }
 
-// trackerLoop is the polling daemon. It drives whatever tracker is
-// currently installed, so a failover (Service.electTracker) transfers
-// the loop to the replacement transparently; while the tracker's own
-// host is down it idles and lets the watchdog elect a successor.
-func (s *Service) trackerLoop(p *simtime.Proc) {
-	for {
-		p.Sleep(s.Config.PollInterval)
-		t := s.Tracker
-		if s.dead[t.node.ID] {
-			continue
-		}
-		t.pollOnce(p)
+// LeaderEpoch returns the leadership term this tracker serves under.
+func (t *Tracker) LeaderEpoch() int64 { return t.leaderEpoch }
+
+// ensureNodes grows the per-node registries to cover n nodes, so a
+// tracker created before a membership join tolerates the new IDs.
+func (t *Tracker) ensureNodes(n int) {
+	for len(t.snapshot) < n {
+		t.snapshot = append(t.snapshot, 0)
+		t.ackedSeq = append(t.ackedSeq, 0)
+		t.pollDropsNode = append(t.pollDropsNode, 0)
 	}
 }
 
-// pollOnce refreshes the snapshot immediately, skipping dead servers. A
-// poll lost in the network (ErrPeerUnreachable) is retried up to the
-// service's retry limit; a server that stays unreachable is recorded as
-// having no free space — allocation simply stops considering it until a
-// later poll gets through, the same degradation a stale free list gives.
+// noteJoin registers a newly joined node with the given advertised free
+// space, so allocation can use it before the next poll cycle.
+func (t *Tracker) noteJoin(node, free int) {
+	t.ensureNodes(node + 1)
+	t.snapshot[node] = free
+}
+
+// retireNode stops advertising a node (leave drain or failure); its
+// snapshot entry stays zero until the node state changes.
+func (t *Tracker) retireNode(node int) {
+	if node >= 0 && node < len(t.snapshot) {
+		t.snapshot[node] = 0
+	}
+}
+
+// trackerLoop is the polling daemon. It drives whatever tracker is
+// currently installed, so a failover (Service.electTracker) transfers
+// the loop to the replacement transparently; while the tracker (or its
+// host) is down it idles and lets the watchdog elect a successor. Under
+// delta dissemination the periodic poll runs only every
+// AntiEntropyEvery cycles — the steady flow of updates arrives as
+// server-pushed deltas instead.
+func (s *Service) trackerLoop(p *simtime.Proc) {
+	cycle := 0
+	for {
+		p.Sleep(s.Config.PollInterval)
+		t := s.Tracker
+		if t.down || s.nodeDown(t.node.ID) {
+			continue
+		}
+		if s.Config.DeltaDissemination {
+			cycle++
+			if cycle >= s.Config.AntiEntropyEvery {
+				cycle = 0
+				t.pollOnce(p)
+			}
+		} else {
+			t.pollOnce(p)
+		}
+		s.handoff(p, t)
+	}
+}
+
+// pollOnce refreshes the snapshot immediately, skipping dead, departed,
+// and draining servers. A poll lost in the network (ErrPeerUnreachable)
+// is retried up to the service's retry limit; a server that stays
+// unreachable is recorded as having no free space — allocation simply
+// stops considering it until a later poll gets through, the same
+// degradation a stale free list gives.
 func (t *Tracker) pollOnce(p *simtime.Proc) {
 	m := t.svc.metrics
+	t.ensureNodes(len(t.svc.Servers))
 	for i := range t.svc.Servers {
-		if t.svc.dead[i] {
+		if t.svc.nodeDown(i) || t.svc.retiring(i) {
 			t.snapshot[i] = 0
 			continue
 		}
+		m.trackerMsgsPoll.Inc()
 		free, err := t.pollServer(p, i)
 		if err != nil {
 			t.snapshot[i] = 0
@@ -79,6 +147,7 @@ func (t *Tracker) pollOnce(p *simtime.Proc) {
 			continue
 		}
 		t.snapshot[i] = free
+		m.trackerUpdatesFull.Inc()
 	}
 	t.lastPoll = p.Now()
 	t.polls++
@@ -103,6 +172,69 @@ func (t *Tracker) pollServer(p *simtime.Proc, node int) (int, error) {
 	}
 }
 
+// ReportDelta applies one sequence-numbered incremental free-space
+// report pushed by a server (the delta-dissemination successor of the
+// full poll), charging the control round trip from the reporting node.
+// Reports at or below the last acked sequence are stale — reordered or
+// duplicated — and are dropped; reports for nodes no longer live are
+// ignored so a drained node cannot re-advertise itself.
+func (t *Tracker) ReportDelta(p *simtime.Proc, from *cluster.Node, seq uint64, free int) {
+	if t.down || t.svc.nodeDown(t.node.ID) {
+		// Leader gone: the report is lost; the reporter re-pushes to the
+		// successor once the watchdog installs one.
+		return
+	}
+	t.svc.Cluster.RPC(p, from, t.node, ctlBytes, ctlBytes)
+	m := t.svc.metrics
+	m.trackerMsgsDelta.Inc()
+	t.ensureNodes(from.ID + 1)
+	if seq <= t.ackedSeq[from.ID] {
+		t.staleDeltas++
+		m.trackerDeltaStale.Inc()
+		return
+	}
+	t.ackedSeq[from.ID] = seq
+	if t.svc.NodeState(from.ID) != NodeLive {
+		return
+	}
+	t.snapshot[from.ID] = free
+	t.deltaUpdates++
+	m.trackerUpdatesDelta.Inc()
+}
+
+// installState copies a leader's state into this tracker — the handoff
+// a standby receives each cycle, and what a promotion installs in place
+// of a cold re-poll.
+func (t *Tracker) installState(from *Tracker) {
+	t.ensureNodes(len(from.snapshot))
+	copy(t.snapshot, from.snapshot)
+	copy(t.ackedSeq, from.ackedSeq)
+	t.lastPoll = from.lastPoll
+	t.leaderEpoch = from.leaderEpoch
+}
+
+// deltaReportLoop is the per-server push daemon under delta
+// dissemination: each interval it reports the node's free count to the
+// current tracker leader, but only when the count changed since the
+// last report — an idle node costs the tracker nothing.
+func (srv *Server) deltaReportLoop(p *simtime.Proc) {
+	last := -1
+	for {
+		p.Sleep(srv.svc.Config.PollInterval)
+		s := srv.svc
+		if s.nodeDown(srv.node.ID) || srv.pool.Failed() {
+			return
+		}
+		free := srv.FreeChunks()
+		if free == last {
+			continue
+		}
+		srv.deltaSeq++
+		s.Tracker.ReportDelta(p, srv.node, srv.deltaSeq, free)
+		last = free
+	}
+}
+
 // queryTimeout is what a task waits before giving up on a dead tracker.
 const queryTimeout = 100 * simtime.Millisecond
 
@@ -112,12 +244,12 @@ type FreeEntry struct {
 	Free int
 }
 
-// Query returns the servers that had free memory at the last poll,
+// Query returns the servers that had free memory at the last update,
 // sorted by free space (descending, node ID tiebreak), charging the
 // control round trip from the asking node. The answer can be stale by up
 // to PollInterval; callers must tolerate allocation failures.
 func (t *Tracker) Query(p *simtime.Proc, from *cluster.Node) []FreeEntry {
-	if t.svc.dead[t.node.ID] {
+	if t.down || t.svc.nodeDown(t.node.ID) {
 		// Dead tracker: the request times out and the file proceeds
 		// with no remote candidates (it will spill to disk until the
 		// watchdog elects a replacement).
@@ -145,6 +277,10 @@ func (t *Tracker) Query(p *simtime.Proc, from *cluster.Node) []FreeEntry {
 // Stats returns (polls completed, queries served).
 func (t *Tracker) Stats() (polls, queries int64) { return t.polls, t.queries }
 
+// DeltaStats returns (incremental updates applied, stale reports
+// dropped).
+func (t *Tracker) DeltaStats() (applied, stale int64) { return t.deltaUpdates, t.staleDeltas }
+
 // PollDrops returns how many per-server polls were lost in the network
 // even after retrying.
 func (t *Tracker) PollDrops() int64 { return t.pollDrops }
@@ -159,5 +295,5 @@ func (t *Tracker) PollDropsFor(node int) int64 {
 	return t.pollDropsNode[node]
 }
 
-// LastPoll returns when the snapshot was last refreshed.
+// LastPoll returns when the snapshot was last refreshed by a full poll.
 func (t *Tracker) LastPoll() simtime.Time { return t.lastPoll }

@@ -127,10 +127,33 @@ const (
 	// too large for one SCM_RIGHTS message answer a plain
 	// StatusBadRequest frame; callers degrade to OpRead.
 	OpPoolFD
+	// OpFreeDelta pushes one sequence-numbered incremental free-space
+	// report from a sponge server to a tracker (the delta-dissemination
+	// successor of the tracker's full OpStat poll). Payload: sequence
+	// (u64), free chunks (u32), address length (u16), address bytes —
+	// the address is how the tracker should name the reporting server
+	// in its free list. Response: applied (u8: 1 applied, 0 stale/
+	// retired). A standby tracker answers StatusBadRequest ("not the
+	// leader") and the reporter rotates to the next tracker address;
+	// sponge servers and pre-delta trackers answer the same, so
+	// misdirected reports degrade gracefully.
+	OpFreeDelta
+	// OpTrackerState hands a tracker leader's state off to a standby:
+	// leader epoch (u64), entry count (u16), then per entry free chunks
+	// (u32), acked delta sequence (u64), address length (u16), address
+	// bytes. Response: status only. Only standbys accept it — a leader
+	// answers StatusBadRequest, which tells a stale ex-leader (or a
+	// misconfigured peer) that the receiver is not following it.
+	OpTrackerState
+	// OpTrackerInfo asks a tracker for its role and leadership term.
+	// Response: leader epoch (u64), leader flag (u8). Clients use it to
+	// find the current leader among a replicated tracker group; any
+	// other daemon answers StatusBadRequest.
+	OpTrackerInfo
 )
 
 // opMax is the highest op code, sizing per-op tables.
-const opMax = OpPoolFD
+const opMax = OpTrackerInfo
 
 // SpillHandleBit distinguishes disk-spilled chunk handles from pool
 // handles in the shared u32 handle space: pool handles index chunk

@@ -1,0 +1,159 @@
+package wire
+
+import (
+	"errors"
+	"sync"
+	"time"
+
+	"spongefiles/internal/obs"
+)
+
+// deltaReporter is the server side of delta free-space dissemination:
+// instead of waiting to be polled, the sponge server pushes a
+// sequence-numbered OpFreeDelta report to its tracker group whenever
+// the pool's free count has changed since the last accepted report.
+// Unchanged cycles send nothing — that is the whole point: at scale
+// the tracker's inbound traffic follows the churn rate, not the node
+// count, and the leader's periodic anti-entropy poll repairs whatever
+// the pushes missed.
+//
+// Leader discovery is by rotation. A standby (or a pre-delta tracker,
+// or a misconfigured non-tracker peer) answers StatusBadRequest, and
+// the reporter advances to the next address, sticking with whichever
+// one applies its reports. Sequence numbers make the rotation safe:
+// a report that raced a failover and landed twice is deduplicated by
+// the tracker's acked sequence, never double-applied.
+type deltaReporter struct {
+	addr     string // how trackers name this server in their free lists
+	trackers []string
+	interval time.Duration
+	free     func() int
+
+	mu      sync.Mutex
+	clients map[string]*Client
+	cur     int // index of the tracker believed to lead
+
+	seq  uint64
+	last int // last acked free count; -1 forces the first report
+
+	reports, rotations, sendErrs *obs.Counter
+
+	stop chan struct{}
+	done chan struct{}
+}
+
+func newDeltaReporter(addr string, trackers []string, interval time.Duration, free func() int, reg *obs.Registry) *deltaReporter {
+	if interval <= 0 {
+		interval = time.Second
+	}
+	listen := obs.L("listen", addr)
+	r := &deltaReporter{
+		addr:      addr,
+		trackers:  append([]string(nil), trackers...),
+		interval:  interval,
+		free:      free,
+		clients:   make(map[string]*Client),
+		last:      -1,
+		reports:   reg.Counter("spongewire_delta_reports_total", listen),
+		rotations: reg.Counter("spongewire_delta_rotations_total", listen),
+		sendErrs:  reg.Counter("spongewire_delta_errors_total", listen),
+		stop:      make(chan struct{}),
+		done:      make(chan struct{}),
+	}
+	go r.loop()
+	return r
+}
+
+// close stops the report loop and drops the cached tracker connections.
+func (r *deltaReporter) close() {
+	close(r.stop)
+	<-r.done
+	r.mu.Lock()
+	clients := r.clients
+	r.clients = make(map[string]*Client)
+	r.mu.Unlock()
+	for _, c := range clients {
+		c.Close()
+	}
+}
+
+func (r *deltaReporter) loop() {
+	defer close(r.done)
+	ticker := time.NewTicker(r.interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-r.stop:
+			return
+		case <-ticker.C:
+			r.tick()
+		}
+	}
+}
+
+// tick reports the current free count if it changed since the last
+// accepted report. Every attempt gets a fresh sequence number, so a
+// report that failed in flight (and may or may not have been applied)
+// is retried next tick under a higher sequence and deduplicates
+// cleanly on the tracker.
+func (r *deltaReporter) tick() {
+	free := r.free()
+	if free == r.last {
+		return
+	}
+	r.seq++
+	for i := 0; i < len(r.trackers); i++ {
+		idx := (r.cur + i) % len(r.trackers)
+		c, err := r.trackerClient(r.trackers[idx])
+		if err != nil {
+			r.sendErrs.Inc()
+			continue
+		}
+		_, err = c.ReportDelta(r.addr, r.seq, free)
+		if errors.Is(err, ErrBadRequest) {
+			// Not the leader; the connection is healthy — keep it and
+			// rotate onward.
+			r.rotations.Inc()
+			continue
+		}
+		if err != nil {
+			r.sendErrs.Inc()
+			r.dropClient(r.trackers[idx], c)
+			continue
+		}
+		// Applied or deduplicated by a leader: either way it has this
+		// state. Stick with this tracker.
+		r.cur = idx
+		r.last = free
+		r.reports.Inc()
+		return
+	}
+	// No tracker took the report; leave last unchanged so the next
+	// tick retries with a fresh sequence.
+}
+
+func (r *deltaReporter) trackerClient(addr string) (*Client, error) {
+	r.mu.Lock()
+	c := r.clients[addr]
+	r.mu.Unlock()
+	if c != nil {
+		return c, nil
+	}
+	c, err := Dial(addr)
+	if err != nil {
+		return nil, err
+	}
+	r.mu.Lock()
+	r.clients[addr] = c
+	r.mu.Unlock()
+	return c, nil
+}
+
+func (r *deltaReporter) dropClient(addr string, c *Client) {
+	r.mu.Lock()
+	if r.clients[addr] == c {
+		delete(r.clients, addr)
+	}
+	r.mu.Unlock()
+	c.Close()
+}

@@ -65,6 +65,18 @@ type Options struct {
 	// answering OpSpillFD. Benchmark and CI control — it exercises the
 	// non-linux code path on any OS.
 	NoZeroCopy bool
+	// Trackers lists replicated tracker addresses this sponge server
+	// pushes OpFreeDelta reports to when its free count changes. The
+	// reporter finds the leader by rotation: a standby answers "not the
+	// leader" and the reporter moves to the next address. Empty
+	// disables delta reporting (trackers then rely on polling).
+	// Ignored by the tracker daemon.
+	Trackers []string
+	// ReportInterval is the delta reporter's check period; 0 means 1s.
+	ReportInterval time.Duration
+	// AdvertiseAddr is how trackers should name this server in their
+	// free lists; "" means the server's own TCP listen address.
+	AdvertiseAddr string
 }
 
 func (o Options) inflight() int {
@@ -206,20 +218,23 @@ const (
 // opNames maps op codes to the label values used in the daemon's
 // per-op request counters. A blank entry means "not a real op".
 var opNames = [opMax + 1]string{
-	OpAllocWrite: "alloc_write",
-	OpRead:       "read",
-	OpFree:       "free",
-	OpStat:       "stat",
-	OpPing:       "ping",
-	OpRegister:   "register",
-	OpUnregister: "unregister",
-	OpHello:      "hello",
-	OpFreeList:   "free_list",
-	OpMetrics:    "metrics",
-	OpSpillLoc:   "spill_loc",
-	OpSpillFD:    "spill_fd",
-	OpPoolLoc:    "pool_loc",
-	OpPoolFD:     "pool_fd",
+	OpAllocWrite:   "alloc_write",
+	OpRead:         "read",
+	OpFree:         "free",
+	OpStat:         "stat",
+	OpPing:         "ping",
+	OpRegister:     "register",
+	OpUnregister:   "unregister",
+	OpHello:        "hello",
+	OpFreeList:     "free_list",
+	OpMetrics:      "metrics",
+	OpSpillLoc:     "spill_loc",
+	OpSpillFD:      "spill_fd",
+	OpPoolLoc:      "pool_loc",
+	OpPoolFD:       "pool_fd",
+	OpFreeDelta:    "free_delta",
+	OpTrackerState: "tracker_state",
+	OpTrackerInfo:  "tracker_info",
 }
 
 // startDaemon listens on addr (plus the derived unix socket when

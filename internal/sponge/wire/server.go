@@ -35,10 +35,11 @@ import (
 // any other chunk, and the file reclaims wholesale when its last
 // record dies.
 type Server struct {
-	pool  *sponge.Pool
-	live  Liveness
-	d     *daemon
-	spill *spillFile // nil without Options.SpillDir
+	pool     *sponge.Pool
+	live     Liveness
+	d        *daemon
+	spill    *spillFile     // nil without Options.SpillDir
+	reporter *deltaReporter // nil without Options.Trackers
 
 	spillAllocs *obs.Counter
 }
@@ -96,6 +97,13 @@ func ServeOptions(pool *sponge.Pool, addr string, opts Options) (*Server, error)
 			return bytes
 		}, listen)
 	}
+	if len(opts.Trackers) > 0 {
+		adv := opts.AdvertiseAddr
+		if adv == "" {
+			adv = d.addr()
+		}
+		s.reporter = newDeltaReporter(adv, opts.Trackers, opts.ReportInterval, pool.Free, d.metrics)
+	}
 	return s, nil
 }
 
@@ -113,6 +121,9 @@ func (s *Server) LocalSocket() string { return s.d.localSocket() }
 // Close stops the listeners, closes every live connection, waits for
 // their handlers, and removes the spill file.
 func (s *Server) Close() error {
+	if s.reporter != nil {
+		s.reporter.close()
+	}
 	err := s.d.close()
 	if s.spill != nil {
 		if serr := s.spill.close(); err == nil {

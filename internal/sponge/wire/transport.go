@@ -54,6 +54,7 @@ type Transport struct {
 	tierOps      [4]*obs.Counter // indexed by tierUnix/tierTCP/tierSim/tierPoolFD
 	unixFallback *obs.Counter
 	genMiss      *obs.Counter
+	revoked      *obs.Counter
 }
 
 // tier indexes for Transport.tierOps. tierPoolFD is not a fourth
@@ -115,6 +116,7 @@ func NewTransportOptions(addrs map[int]string, fallback sponge.Transport, opts T
 	t.tierOps[tierPoolFD] = t.metrics.Counter("sponge_transport_tier_total", obs.L("tier", "pool_fd"))
 	t.unixFallback = t.metrics.Counter("sponge_transport_unix_fallback_total")
 	t.genMiss = t.metrics.Counter("sponge_poolfd_gen_miss_total")
+	t.revoked = t.metrics.Counter("sponge_transport_peer_revocations_total")
 	return t
 }
 
@@ -176,6 +178,25 @@ func (t *Transport) Close() error {
 		}
 	}
 	return first
+}
+
+// RevokePeer tears down this transport's cached state for a departed
+// node: the pipelined client closes — and with it any passed spill-file
+// descriptor and pool-segment mmaps, so a same-host reader that raced
+// the departure degrades to TCP instead of reading a dead pool — and
+// the sim-tier wrapper is dropped. The address mapping stays: the next
+// operation against the node re-dials, so a node that rejoins under the
+// same address needs no special handling.
+func (t *Transport) RevokePeer(node int) {
+	t.mu.Lock()
+	c := t.clients[node]
+	delete(t.clients, node)
+	delete(t.simPeers, node)
+	t.mu.Unlock()
+	if c != nil {
+		c.Close()
+		t.revoked.Inc()
+	}
 }
 
 // Peer returns the handle on a node's sponge server: a wire peer for

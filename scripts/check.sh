@@ -43,4 +43,10 @@ echo "== readahead sweep smoke + depth-1 seed equivalence =="
 go test -count=1 -run 'TestReadAheadSweepSmoke|TestReadAheadDepth1MatchesSeedPrefetcher' \
 	./internal/bench
 
+echo "== tracker dissemination smoke =="
+# Small-N run of the tracker scale sweep: delta dissemination must cost
+# fewer tracker messages than full polling and grow sublinearly with the
+# cluster, plus the deterministic-replay check on one delta cell.
+go test -count=1 -run 'TestTrackerSweep' ./internal/bench
+
 echo "tier2 OK"
