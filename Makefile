@@ -49,4 +49,11 @@ bench-tier:
 bench-tracker:
 	go run ./cmd/benchtab -out BENCH_tracker.json tracker
 
-.PHONY: tier1 tier2 stats-smoke bench-wire bench bench-faults bench-readahead bench-tier bench-tracker
+# Combine-scope sweep: {no combiner, task combine, node combine, node
+# combine + sponge-backed overflow} x {Zipf wordcount, uniform
+# wordcount, algebraic Pig domain count}; shuffle volume, spill
+# traffic, and runtime per cell; regenerates BENCH_combine.json.
+bench-combine:
+	go run ./cmd/benchtab -out BENCH_combine.json combine
+
+.PHONY: tier1 tier2 stats-smoke bench-wire bench bench-faults bench-readahead bench-tier bench-tracker bench-combine

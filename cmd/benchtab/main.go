@@ -9,6 +9,7 @@
 //	benchtab [-out file.json] [-stats file.json] readahead
 //	benchtab [-out BENCH_wire.json] tier
 //	benchtab [-out BENCH_tracker.json] tracker
+//	benchtab [-out BENCH_combine.json] combine
 //
 // -size scales the macro datasets (1.0 = the paper's 10 GB inputs).
 //
@@ -44,6 +45,12 @@
 // dissemination, with identical churn, recording tracker messages per
 // node per second (checked in as BENCH_tracker.json). Also not part of
 // "all".
+//
+// The combine experiment sweeps combining scope (none, per-task,
+// per-node, per-node with sponge-backed overflow) against key skew
+// over a wordcount and an algebraic Pig query, recording shuffle
+// volume, spill traffic, and runtime (checked in as
+// BENCH_combine.json). Also not part of "all".
 package main
 
 import (
@@ -88,6 +95,10 @@ func main() {
 	}
 	if which == "tracker" {
 		tracker(*perfOut)
+		return
+	}
+	if which == "combine" {
+		combine(*perfOut)
 		return
 	}
 	run := func(name string, fn func()) {
@@ -192,6 +203,21 @@ func tracker(out string) {
 	fmt.Println(bench.FormatTable(bench.TrackerHeader, bench.TrackerRows(cells)))
 	if out != "" {
 		if err := os.WriteFile(out, bench.TrackerJSON(cfg, cells), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "write %s: %v\n", out, err)
+			os.Exit(1)
+		}
+		fmt.Printf("report written to %s\n", out)
+	}
+}
+
+func combine(out string) {
+	cfg := bench.DefaultCombine()
+	fmt.Printf("== Combine scope: task vs node combining x skew (%d workers, %d records, vocab %d, zipf s=%.1f) ==\n",
+		cfg.Workers, cfg.Records, cfg.Vocab, cfg.ZipfS)
+	cells := bench.RunCombine(cfg)
+	fmt.Println(bench.FormatTable(bench.CombineHeader, bench.CombineRows(cells)))
+	if out != "" {
+		if err := os.WriteFile(out, bench.CombineJSON(cfg, cells), 0o644); err != nil {
 			fmt.Fprintf(os.Stderr, "write %s: %v\n", out, err)
 			os.Exit(1)
 		}

@@ -15,7 +15,7 @@
 //	spongectl cluster [-nodes 3] [-chunks 32] [-mb 200] [-drop 0.1]
 //	                  [-readahead 4] [-local-socket-dir /tmp]
 //	                  [-no-fd-pass] [-tracker-replicas 1]
-//	                  [-kill-tracker 2s] [-delta] ...
+//	                  [-kill-tracker 2s] [-delta] [-combine] ...
 //
 // "serve" runs a sponge server until interrupted; -local-socket-dir
 // adds a same-host unix-socket listener, -spill-dir a disk-spill
@@ -43,7 +43,11 @@
 // it at the given virtual time mid-run so the watchdog's failover (and
 // the handed-off snapshot it promotes) is visible in the transcript;
 // -delta switches free-space dissemination from the 1/s full poll to
-// server-pushed incremental updates. After the round trip it scrapes
+// server-pushed incremental updates; -combine also runs a node-combine
+// wordcount (JobConf.NodeCombine) whose shared buffer is sized to
+// overflow, so the combined runs spill through the sponge and across
+// the child servers, and prints the mr_node_combine_* counters in the
+// table. After the round trip it scrapes
 // every child over OpMetrics and prints the per-node table (including
 // the transport-tier, fd-pass, zero-copy, tracker, and membership
 // counters).
@@ -51,6 +55,7 @@ package main
 
 import (
 	"bufio"
+	"encoding/binary"
 	"flag"
 	"fmt"
 	"io"
@@ -64,9 +69,12 @@ import (
 	"time"
 
 	"spongefiles/internal/cluster"
+	"spongefiles/internal/dfs"
+	"spongefiles/internal/mapreduce"
 	"spongefiles/internal/media"
 	"spongefiles/internal/obs"
 	"spongefiles/internal/simtime"
+	"spongefiles/internal/spill"
 	"spongefiles/internal/sponge"
 	"spongefiles/internal/sponge/wire"
 )
@@ -268,6 +276,7 @@ func clusterMain(args []string) {
 	trackerReplicas := fs.Int("tracker-replicas", 0, "warm standby trackers shadowing the leader (0 = standalone)")
 	killTracker := fs.Duration("kill-tracker", 0, "virtual time at which to fail the tracker mid-run (0 = never; pair with -tracker-replicas to watch the failover)")
 	delta := fs.Bool("delta", false, "delta free-space dissemination instead of the 1/s full poll")
+	combine := fs.Bool("combine", false, "also run a node-combine wordcount whose buffer overflow spills into the sponge, so combined data crosses the child servers")
 	opts := serveOptions(fs)
 	fs.Parse(args)
 
@@ -415,6 +424,77 @@ func clusterMain(args []string) {
 		stats = f.Stats()
 		f.Delete(p)
 	})
+
+	// The optional node-combine leg: a wordcount whose co-located map
+	// tasks publish into the shared per-node combine buffer, sized so the
+	// buffer overflows and the combined runs spill through the sponge —
+	// every overflow chunk rides the same live TCP/unix transport as the
+	// round trip above.
+	var combineRes *mapreduce.JobResult
+	var combineRecords int64
+	if *combine {
+		const (
+			records = 120_000
+			vocab   = 2000
+			keyLen  = 6
+		)
+		cfs := dfs.New(c)
+		cfs.BlockVirtual = 16 * media.MB // several map tasks per node
+		eng := mapreduce.NewEngine(c, cfs)
+		realRec := keyLen + 4 + 8 // key + uint32 value + record header
+		cfs.AddExisting("/in/combine", c.Cfg.V(records*realRec))
+		blocks := len(cfs.Lookup("/in/combine").Blocks)
+		one := make([]byte, 4)
+		binary.LittleEndian.PutUint32(one, 1)
+		sum := func(vals *mapreduce.ValueIter) uint32 {
+			var total uint32
+			for {
+				v, ok := vals.Next()
+				if !ok {
+					return total
+				}
+				total += binary.LittleEndian.Uint32(v)
+			}
+		}
+		conf := mapreduce.JobConf{
+			Name: "combine-demo",
+			Input: mapreduce.Input{
+				File: "/in/combine",
+				MakeRecords: func(split int) mapreduce.RecordGen {
+					return func(emit mapreduce.Emit) {
+						per := records / blocks
+						lo, hi := split*per, (split+1)*per
+						if split == blocks-1 {
+							hi = records
+						}
+						for i := lo; i < hi; i++ {
+							emit(nil, []byte(fmt.Sprintf("k%05d", i%vocab)))
+						}
+					}
+				},
+			},
+			Map: func(ctx *mapreduce.TaskContext, k, v []byte, emit mapreduce.Emit) {
+				emit(v[:keyLen], one)
+			},
+			Combine: func(ctx *mapreduce.TaskContext, key []byte, vals *mapreduce.ValueIter, emit mapreduce.Emit) {
+				var out [4]byte
+				binary.LittleEndian.PutUint32(out[:], sum(vals))
+				emit(key, out[:])
+			},
+			Reduce: func(ctx *mapreduce.TaskContext, key []byte, vals *mapreduce.ValueIter, emit mapreduce.Emit) {
+				combineRecords += int64(sum(vals))
+				emit(key, nil)
+			},
+			NumReducers:        2,
+			NodeCombine:        true,
+			NodeCombineVirtual: 4 * media.MB, // force overflow into the sponge
+			SpillFactory:       spill.SpongeFactory(svc),
+			Metrics:            svc.Metrics(),
+		}
+		sim.Spawn("combinejob", func(p *simtime.Proc) {
+			combineRes = eng.Submit(conf).Wait(p)
+		})
+	}
 	sim.MustRun()
 	if failed {
 		os.Exit(1)
@@ -447,6 +527,17 @@ func clusterMain(args []string) {
 		applied, stale := svc.Tracker.DeltaStats()
 		fmt.Printf("delta dissemination: %d incremental updates applied, %d stale dropped\n",
 			applied, stale)
+	}
+	if combineRes != nil {
+		if combineRes.Failed {
+			fmt.Fprintln(os.Stderr, "combine job failed")
+			os.Exit(1)
+		}
+		nc := combineRes.NodeCombine
+		fmt.Printf("node combine: %d published / %d bypassed map tasks, %d -> %d records, %d bytes saved off the shuffle\n",
+			nc.Published, nc.BypassedLate+nc.BypassedClosed, nc.RecordsIn, nc.RecordsOut, nc.SavedBytes())
+		fmt.Printf("node combine overflow: %d overflows, %d chunks (%d real bytes) spilled through the sponge; reduce saw %d records\n",
+			nc.Overflows, nc.SpillChunks, nc.SpillBytesReal, combineRecords)
 	}
 	for n := 1; n <= *nodes; n++ {
 		cl, err := wire.Dial(addrs[n])
@@ -492,7 +583,7 @@ func clusterMain(args []string) {
 		"sponge_tracker_msgs_total", "sponge_tracker_updates_total",
 		"sponge_membership_epoch", "sponge_membership_changes_total",
 		"sponge_evacuated_chunks_total", "sponge_peer_revocations_total",
-		"sponge_transport_peer_revocations_total",
+		"sponge_transport_peer_revocations_total", "mr_node_combine",
 		"spongewire_requests_total", "spongewire_connections_total",
 		"spongewire_serve_zero_copy_bytes_total", "spongewire_spill_allocs_total",
 		"spongewire_fdpass_fail_total", "spongewire_tracker_",

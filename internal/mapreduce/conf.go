@@ -5,6 +5,7 @@ import (
 
 	"spongefiles/internal/cluster"
 	"spongefiles/internal/media"
+	"spongefiles/internal/obs"
 	"spongefiles/internal/simtime"
 	"spongefiles/internal/spill"
 )
@@ -90,6 +91,31 @@ type JobConf struct {
 
 	// MaxAttempts bounds task retries after failures.
 	MaxAttempts int
+
+	// NodeCombine opts into the per-node shared combine stage: map
+	// tasks on the same node publish their sorted, task-combined
+	// partitions into one shared buffer that merges co-located segments
+	// per reduce partition and re-runs the combiner across tasks before
+	// shuffle, so the shuffle carries one copy of each hot key per node
+	// instead of per task (in-node combining, Lee et al.). Requires
+	// Combine and Reduce; ignored otherwise. Default off: the stock
+	// per-task path stays bit-identical.
+	NodeCombine bool
+	// NodeCombineVirtual caps the shared buffer per node (virtual
+	// bytes; default 128 MB). On overflow the buffered, combined data
+	// spills through SpillFactory — with a sponge factory the overflow
+	// lands in distributed memory instead of stalling mappers.
+	NodeCombineVirtual int64
+	// NodeCombineLinger is how long the shared buffer stays open after
+	// the node's most recent publish. A map task finishing after the
+	// window closed bypasses to the stock per-task output path, so a
+	// straggler never blocks the node's combined output. Default 60 s.
+	NodeCombineLinger simtime.Duration
+
+	// Metrics, when non-nil, receives the engine's node-combine
+	// instrumentation (mr_node_combine_* series). Nil gives the job a
+	// private registry; simulated results are identical either way.
+	Metrics *obs.Registry
 }
 
 // Defaults fills unset fields with the paper's Hadoop configuration.
@@ -118,6 +144,19 @@ func (c *JobConf) Defaults() {
 	if c.SpillFactory == nil {
 		c.SpillFactory = spill.DiskFactory()
 	}
+	if c.NodeCombine && (c.Combine == nil || c.Reduce == nil) {
+		// Without a combiner there is nothing to fold across tasks, and
+		// without a reduce there is no shuffle to shrink.
+		c.NodeCombine = false
+	}
+	if c.NodeCombine {
+		if c.NodeCombineVirtual <= 0 {
+			c.NodeCombineVirtual = 128 * media.MB
+		}
+		if c.NodeCombineLinger <= 0 {
+			c.NodeCombineLinger = 60 * simtime.Second
+		}
+	}
 }
 
 // HashPartition is the default FNV-based partitioner.
@@ -137,6 +176,7 @@ type TaskContext struct {
 
 	cpuDebt simtime.Duration
 	run     *TaskRun
+	combine combineState
 }
 
 // Count bumps a named job counter (Hadoop's user counters); counters

@@ -52,6 +52,9 @@ type JobResult struct {
 	Start, End simtime.Time
 	Tasks      []*TaskRun
 	Failed     bool
+	// NodeCombine summarises the node-combine stage's activity; zero
+	// unless JobConf.NodeCombine was on.
+	NodeCombine NodeCombineStats
 }
 
 // Counters aggregates the named counters of every successful attempt,
@@ -168,6 +171,8 @@ type runningJob struct {
 	failed    bool
 	started   bool
 	result    *JobResult
+	// nc is the node-combine stage, nil unless conf.NodeCombine.
+	nc *jobCombine
 }
 
 type schedEventKind int
@@ -234,6 +239,9 @@ func (e *Engine) Submit(conf JobConf) *Job {
 	}
 	if conf.Reduce != nil {
 		rj.redsLeft = conf.NumReducers
+	}
+	if conf.NodeCombine {
+		rj.nc = newJobCombine(e, rj)
 	}
 	for i, b := range meta.Blocks {
 		rj.pending = append(rj.pending, &pendingTask{kind: MapTask, index: i, preferred: b.Replicas})
@@ -363,9 +371,13 @@ func (e *Engine) taskDone(rj *runningJob, t *pendingTask, nodeID int, err error)
 	case t.kind == MapTask && err == nil:
 		rj.mapsLeft--
 		if rj.mapsLeft == 0 && rj.conf.Reduce != nil {
-			// Maps complete: enqueue the reduce phase.
-			for r := 0; r < rj.conf.NumReducers; r++ {
-				rj.pending = append(rj.pending, &pendingTask{kind: ReduceTask, index: r})
+			// Maps complete. With node combining on, every node buffer
+			// must flush (merging and registering its combined output)
+			// before a reduce may shuffle; the barrier enqueues the
+			// reduce phase itself once the last flush lands. Otherwise
+			// enqueue the reduce phase directly.
+			if rj.nc == nil || !rj.nc.flushPending(e) {
+				e.enqueueReduces(rj)
 			}
 		}
 	case t.kind == ReduceTask && err == nil:
@@ -373,6 +385,13 @@ func (e *Engine) taskDone(rj *runningJob, t *pendingTask, nodeID int, err error)
 	}
 	e.maybeFinish(rj)
 	e.events.Put(schedEvent{kind: evTaskDone, node: nodeID, task: t.kind})
+}
+
+// enqueueReduces queues the job's reduce phase.
+func (e *Engine) enqueueReduces(rj *runningJob) {
+	for r := 0; r < rj.conf.NumReducers; r++ {
+		rj.pending = append(rj.pending, &pendingTask{kind: ReduceTask, index: r})
+	}
 }
 
 func (e *Engine) maybeFinish(rj *runningJob) {

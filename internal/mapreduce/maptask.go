@@ -182,7 +182,7 @@ func runMapTask(ctx *TaskContext, eng *Engine, job *runningJob, split int) (out 
 		ctx.ChargeCPU(simtime.Duration(cmps) * conf.CPU.Compare)
 		combineSegs(ctx, conf, segs)
 		ctx.FlushCPU()
-		writeMapOutput(ctx, job, split, segs)
+		deliverMapOutput(ctx, job, split, segs)
 		return segs, nil
 	}
 	if !buf.empty() {
@@ -218,8 +218,32 @@ func runMapTask(ctx *TaskContext, eng *Engine, job *runningJob, split int) (out 
 			}
 		}
 	}
-	writeMapOutput(ctx, job, split, out)
+	deliverMapOutput(ctx, job, split, out)
 	return out, nil
+}
+
+// deliverMapOutput routes a finished map task's output: into the node's
+// shared combine buffer when the node-combine stage is on and accepts
+// it, else through the stock per-task output path.
+func deliverMapOutput(ctx *TaskContext, job *runningJob, split int, segs [][]byte) {
+	if job.nc != nil && job.nc.publish(ctx, split, segs) {
+		return
+	}
+	writeMapOutput(ctx, job, split, segs)
+}
+
+// combineState is the task-scoped scratch the combiner path recycles
+// across segments and spills: the output slab, the emit/onRec closures,
+// and the stream/grouper/iterator structs. Steady state allocates
+// nothing per segment — each consumed input segment's backing becomes
+// the next output slab.
+type combineState struct {
+	out   []byte
+	emit  Emit
+	onRec func(k, v []byte)
+	src   memStream
+	g     grouper
+	vi    ValueIter
 }
 
 // combineSegs runs the job's combiner over each sorted segment in place.
@@ -227,24 +251,34 @@ func combineSegs(ctx *TaskContext, conf *JobConf, segs [][]byte) {
 	if conf.Combine == nil {
 		return
 	}
+	cs := &ctx.combine
+	if cs.emit == nil {
+		cs.emit = func(k, v []byte) { cs.out = appendRecord(cs.out, k, v) }
+		cs.onRec = func(k, v []byte) { ctx.ChargeCPU(ctx.Conf.CPU.PerRecord) }
+		cs.vi.g = &cs.g
+	}
 	for part, seg := range segs {
 		if len(seg) == 0 {
 			continue
 		}
-		var out []byte
-		emit := func(k, v []byte) { out = appendRecord(out, k, v) }
-		g := newGrouper(ctx.P, newMemStream(seg), func(k, v []byte) {
-			ctx.ChargeCPU(conf.CPU.PerRecord)
-		})
-		vi := &ValueIter{g: g}
+		if cap(cs.out) < len(seg) {
+			// A combiner may emit more bytes than it consumed (satellite
+			// coverage pins this); the slab grows then and is kept.
+			cs.out = make([]byte, 0, cap(seg))
+		}
+		cs.out = cs.out[:0]
+		cs.src.reset(seg)
+		cs.g.reset(ctx.P, &cs.src, cs.onRec)
 		for {
-			key, ok := g.nextKey()
+			key, ok := cs.g.nextKey()
 			if !ok {
 				break
 			}
-			conf.Combine(ctx, key, vi, emit)
+			conf.Combine(ctx, key, &cs.vi, cs.emit)
 		}
-		segs[part] = out
+		// The combined output replaces the segment; the consumed input's
+		// backing is recycled as the next segment's output slab.
+		segs[part], cs.out = cs.out, seg[:0]
 	}
 }
 

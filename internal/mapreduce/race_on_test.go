@@ -1,0 +1,9 @@
+//go:build race
+
+package mapreduce
+
+// raceEnabled reports whether the race detector is instrumenting this
+// build; allocation guards skip under it (the race runtime allocates
+// around instrumented code, so the guards would measure the detector,
+// not the combine path).
+const raceEnabled = true

@@ -117,7 +117,10 @@ func runReduceTask(ctx *TaskContext, eng *Engine, job *runningJob, part int) (er
 		}
 		merged := ctx.Spill.Create(p, fmt.Sprintf("%s-r%d-run%d", conf.Name, part, runCount))
 		runCount++
-		if err := writeMerged(ctx, merged, streams); err != nil {
+		// Intermediate merge rounds re-run the combiner (as Hadoop
+		// does): without it, every round re-ships each hot key's
+		// uncombined duplicates from all its source runs.
+		if err := writeMergedCombine(ctx, merged, streams, conf.Combine); err != nil {
 			return err
 		}
 		for _, f := range batch {
@@ -174,6 +177,15 @@ func runReduceTask(ctx *TaskContext, eng *Engine, job *runningJob, part int) (er
 // writeMerged streams a merge of the given sorted streams into f,
 // charging merge CPU, and closes it.
 func writeMerged(ctx *TaskContext, f spill.File, streams []recordStream) error {
+	return writeMergedCombine(ctx, f, streams, nil)
+}
+
+// writeMergedCombine is writeMerged with an optional combiner applied
+// over the merged record flow: each key's values, now adjacent, are
+// folded before the run is written, so re-merged runs ship combined
+// records instead of per-source duplicates (Hadoop re-combines during
+// intermediate merges the same way).
+func writeMergedCombine(ctx *TaskContext, f spill.File, streams []recordStream, combine ReduceFunc) error {
 	p := ctx.P
 	m := newMergeStream(streams)
 	width := m.Width()
@@ -182,22 +194,50 @@ func writeMerged(ctx *TaskContext, f spill.File, streams []recordStream) error {
 	}
 	cmp := simtime.Duration(bits.Len(uint(width))) * ctx.Conf.CPU.Compare
 	var buf []byte
-	for m.next(p) {
-		buf = appendRecord(buf, m.key(), m.value())
-		ctx.ChargeCPU(cmp)
-		if len(buf) >= streamBufReal {
+	var werr error
+	flush := func(force bool) {
+		if werr != nil {
+			return
+		}
+		if len(buf) >= streamBufReal || (force && len(buf) > 0) {
 			ctx.FlushCPU()
-			if err := f.Write(p, buf); err != nil {
-				return err
-			}
+			werr = f.Write(p, buf)
 			buf = buf[:0]
 		}
 	}
-	ctx.FlushCPU()
-	if len(buf) > 0 {
-		if err := f.Write(p, buf); err != nil {
-			return err
+	if combine == nil {
+		for m.next(p) {
+			buf = appendRecord(buf, m.key(), m.value())
+			ctx.ChargeCPU(cmp)
+			flush(false)
+			if werr != nil {
+				return werr
+			}
 		}
+	} else {
+		emit := func(k, v []byte) {
+			buf = appendRecord(buf, k, v)
+			flush(false)
+		}
+		g := newGrouper(p, m, func(k, v []byte) {
+			ctx.ChargeCPU(ctx.Conf.CPU.PerRecord + cmp)
+		})
+		vi := &ValueIter{g: g}
+		for {
+			key, ok := g.nextKey()
+			if !ok {
+				break
+			}
+			combine(ctx, key, vi, emit)
+			if werr != nil {
+				return werr
+			}
+		}
+	}
+	ctx.FlushCPU()
+	flush(true)
+	if werr != nil {
+		return werr
 	}
 	return f.Close(p)
 }

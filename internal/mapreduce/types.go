@@ -74,6 +74,12 @@ type memStream struct {
 
 func newMemStream(data []byte) *memStream { return &memStream{data: data} }
 
+// reset re-arms the stream over a new segment, reusing the struct.
+func (s *memStream) reset(data []byte) {
+	s.data, s.off = data, 0
+	s.k, s.v = nil, nil
+}
+
 func (s *memStream) next(p *simtime.Proc) bool {
 	if s.off >= len(s.data) {
 		return false
@@ -227,6 +233,7 @@ type grouper struct {
 	src     recordStream
 	p       *simtime.Proc
 	curKey  []byte
+	started bool // curKey holds a captured key
 	pending bool // src is positioned at an unconsumed record
 	done    bool
 	onRec   func(k, v []byte) // per-record hook (CPU + counters)
@@ -234,6 +241,13 @@ type grouper struct {
 
 func newGrouper(p *simtime.Proc, src recordStream, onRec func(k, v []byte)) *grouper {
 	return &grouper{src: src, p: p, onRec: onRec}
+}
+
+// reset re-arms the grouper over a new stream, keeping its key scratch
+// so steady-state reuse allocates nothing.
+func (g *grouper) reset(p *simtime.Proc, src recordStream, onRec func(k, v []byte)) {
+	g.src, g.p, g.onRec = src, p, onRec
+	g.started, g.pending, g.done = false, false, false
 }
 
 // nextKey advances to the next distinct key, skipping any unconsumed
@@ -247,7 +261,8 @@ func (g *grouper) nextKey() ([]byte, bool) {
 			}
 			g.pending = true
 		}
-		if g.curKey == nil || !bytes.Equal(g.src.key(), g.curKey) {
+		if !g.started || !bytes.Equal(g.src.key(), g.curKey) {
+			g.started = true
 			g.curKey = append(g.curKey[:0], g.src.key()...)
 			return g.curKey, true
 		}

@@ -10,6 +10,7 @@ import (
 	"spongefiles/internal/cluster"
 	"spongefiles/internal/dfs"
 	"spongefiles/internal/mapreduce"
+	"spongefiles/internal/media"
 	"spongefiles/internal/simtime"
 	"spongefiles/internal/spill"
 	"spongefiles/internal/sponge"
@@ -242,6 +243,9 @@ func runQuery(t *testing.T, q *GroupQuery, tuples []Tuple, useSponge bool) (map[
 		blobs = append(blobs, b)
 		totalReal += len(b) + 8
 	}
+	// Small blocks so the corpus spans several map tasks per node (the
+	// node-combine tests need co-located tasks to fold).
+	fs.BlockVirtual = media.MB
 	fs.AddExisting("/in/q", c.Cfg.V(totalReal))
 	blocks := len(fs.Lookup("/in/q").Blocks)
 	q.Input = mapreduce.Input{

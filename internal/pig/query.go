@@ -40,6 +40,15 @@ type GroupQuery struct {
 	// SortKey, when set, makes each group's bag an ordered bag.
 	SortKey func(Tuple) Value
 
+	// Algebraic, when set, declares the group function algebraic (Pig's
+	// Algebraic interface): partial aggregates fold associatively, so
+	// the fold runs as a combiner at task scope, across co-located
+	// tasks at node scope (JobConf.NodeCombine), and again during
+	// reduce-side merges — holistic UDFs like TopK and Quantiles get
+	// none of this. When Algebraic is set UDF/SortKey are ignored and
+	// the reduce folds partials instead of building bags.
+	Algebraic *AlgebraicFold
+
 	// BagMemFraction is the fraction of the task heap available to
 	// bags before the memory manager spills (Pig's collection
 	// threshold); default 0.25.
@@ -48,9 +57,44 @@ type GroupQuery struct {
 	ChunkVirtual int64
 }
 
+// AlgebraicFold describes an algebraic group function as Pig's
+// Algebraic interface does: Init maps one input tuple to a partial
+// aggregate, Merge folds two partials, Final turns the group's folded
+// partial into output tuples. Merge must be associative and commutative
+// for the fold to run at any scope.
+type AlgebraicFold struct {
+	Init  func(t Tuple) Tuple
+	Merge func(acc, next Tuple) Tuple
+	Final func(group string, acc Tuple, emit func(Tuple))
+}
+
+// CountFold counts tuples per group: partial = (count), final = (count).
+func CountFold() *AlgebraicFold {
+	return &AlgebraicFold{
+		Init:  func(t Tuple) Tuple { return Tuple{int64(1)} },
+		Merge: func(acc, next Tuple) Tuple { return Tuple{acc.Int(0) + next.Int(0)} },
+		Final: func(group string, acc Tuple, emit func(Tuple)) { emit(acc) },
+	}
+}
+
+// SumFold sums float field f per group: partial = (sum, count), final
+// = (sum, count) — enough to derive averages downstream.
+func SumFold(f int) *AlgebraicFold {
+	return &AlgebraicFold{
+		Init:  func(t Tuple) Tuple { return Tuple{t.Float(f), int64(1)} },
+		Merge: func(acc, next Tuple) Tuple { return Tuple{acc.Float(0) + next.Float(0), acc.Int(1) + next.Int(1)} },
+		Final: func(group string, acc Tuple, emit func(Tuple)) { emit(acc) },
+	}
+}
+
 // Compile lowers the query to a MapReduce JobConf. The caller supplies
 // the spill factory (disk versus SpongeFiles) and cluster heap size.
+// Algebraic queries compile with the fold as the job's combiner and
+// node combining enabled; holistic queries compile to the bag plan.
 func (q *GroupQuery) Compile(heapVirtual int64, factory spill.Factory) mapreduce.JobConf {
+	if q.Algebraic != nil {
+		return q.compileAlgebraic(factory)
+	}
 	bagFrac := q.BagMemFraction
 	if bagFrac <= 0 {
 		bagFrac = 0.25
@@ -102,4 +146,63 @@ func (q *GroupQuery) Compile(heapVirtual int64, factory spill.Factory) mapreduce
 		},
 	}
 	return conf
+}
+
+// compileAlgebraic lowers an algebraic query: the map emits Init
+// partials, the fold runs as the combiner (task scope, node scope via
+// NodeCombine, and reduce-merge scope), and the reduce folds the
+// surviving partials and applies Final. No bags are built — the
+// aggregate state is one tuple per group at every stage.
+func (q *GroupQuery) compileAlgebraic(factory spill.Factory) mapreduce.JobConf {
+	alg := q.Algebraic
+	// fold drains one key's partials into a single accumulator.
+	fold := func(ctx *mapreduce.TaskContext, vals *mapreduce.ValueIter) Tuple {
+		var acc Tuple
+		for {
+			v, ok := vals.Next()
+			if !ok {
+				break
+			}
+			t := DecodeTuple(v)
+			if acc == nil {
+				acc = t
+			} else {
+				acc = alg.Merge(acc, t)
+			}
+			ctx.ChargeCPU(simtime.Microsecond)
+		}
+		return acc
+	}
+	return mapreduce.JobConf{
+		Name:         q.Name,
+		Input:        q.Input,
+		NumReducers:  1,
+		SpillFactory: factory,
+		NodeCombine:  true,
+		Map: func(ctx *mapreduce.TaskContext, k, v []byte, emit mapreduce.Emit) {
+			t := DecodeTuple(v)
+			if q.Filter != nil && !q.Filter(t) {
+				return
+			}
+			if q.Project != nil {
+				t = q.Project(t)
+			}
+			key := q.GroupKey(t)
+			emit([]byte(key), AppendTuple(nil, alg.Init(t)))
+		},
+		Combine: func(ctx *mapreduce.TaskContext, key []byte, vals *mapreduce.ValueIter, emit mapreduce.Emit) {
+			if acc := fold(ctx, vals); acc != nil {
+				emit(key, AppendTuple(nil, acc))
+			}
+		},
+		Reduce: func(ctx *mapreduce.TaskContext, key []byte, vals *mapreduce.ValueIter, emit mapreduce.Emit) {
+			acc := fold(ctx, vals)
+			if acc == nil {
+				return
+			}
+			alg.Final(string(key), acc, func(t Tuple) {
+				emit(key, AppendTuple(nil, t))
+			})
+		},
+	}
 }

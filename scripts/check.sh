@@ -25,9 +25,12 @@ echo "== allocation-regression guards =="
 # File.Write and windowed File.Read at zero allocations, plus the >=30%
 # macro allocs/op cut. The obs guards keep counter/gauge/histogram ops
 # and trace-ring appends allocation-free so instrumentation stays off
-# the spill path's alloc budget.
+# the spill path's alloc budget. The mapreduce guards pin the map-side
+# combiner scratch and the node-combine publish path at zero steady-
+# state allocations per record.
 go test -count=1 -run 'AllocationFree|TestMacroAllocRegressionGuard' \
-	./internal/sponge ./internal/simtime ./internal/bench ./internal/obs
+	./internal/sponge ./internal/simtime ./internal/bench ./internal/obs \
+	./internal/mapreduce
 
 # Wire transport guard: steady-state ReadInto must stay 0 allocs/chunk
 # on all six serve paths — TCP and unix pool reads, sendfile spill
@@ -48,5 +51,13 @@ echo "== tracker dissemination smoke =="
 # fewer tracker messages than full polling and grow sublinearly with the
 # cluster, plus the deterministic-replay check on one delta cell.
 go test -count=1 -run 'TestTrackerSweep' ./internal/bench
+
+echo "== node-combine shape + determinism smoke =="
+# Small-N node-combine checks: the shared per-node buffer must cut the
+# shuffle >=25% versus per-task combining with the answer preserved, and
+# the node-combined reduce output must stay byte-identical to the
+# task-combined run's.
+go test -count=1 -run 'TestNodeCombineCutsShuffleAndPreservesAnswer|TestNodeCombineDeterministicOutput' \
+	./internal/mapreduce
 
 echo "tier2 OK"
