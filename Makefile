@@ -7,6 +7,17 @@ tier1:
 tier2:
 	./scripts/check.sh
 
+# Scenario matrix: run the full seed suite of named fault-injection
+# scenarios against real child-process clusters (spongesim -list shows
+# the cases) and write the machine-readable report for CI.
+scenarios:
+	go run ./cmd/spongesim -run all -report report.json
+
+# Quick subset of the scenario matrix (the cases marked q in -list),
+# used as the CI smoke.
+scenarios-quick:
+	go run ./cmd/spongesim -run all -quick -report report.json
+
 # Observability smoke: boot a 3-node TCP cluster of sponge daemons,
 # scrape each over OpMetrics and the HTTP /metrics sidecar, and check
 # known counters appear in the expositions and the stats table.
@@ -56,4 +67,4 @@ bench-tracker:
 bench-combine:
 	go run ./cmd/benchtab -out BENCH_combine.json combine
 
-.PHONY: tier1 tier2 stats-smoke bench-wire bench bench-faults bench-readahead bench-tier bench-tracker bench-combine
+.PHONY: tier1 tier2 scenarios scenarios-quick stats-smoke bench-wire bench bench-faults bench-readahead bench-tier bench-tracker bench-combine

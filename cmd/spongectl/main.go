@@ -54,16 +54,12 @@
 package main
 
 import (
-	"bufio"
 	"encoding/binary"
 	"flag"
 	"fmt"
 	"io"
-	"net"
 	"net/http"
 	"os"
-	"os/exec"
-	"os/signal"
 	"strings"
 	"sync"
 	"time"
@@ -73,6 +69,7 @@ import (
 	"spongefiles/internal/mapreduce"
 	"spongefiles/internal/media"
 	"spongefiles/internal/obs"
+	"spongefiles/internal/scenario"
 	"spongefiles/internal/simtime"
 	"spongefiles/internal/spill"
 	"spongefiles/internal/sponge"
@@ -104,64 +101,12 @@ func usage() {
 	os.Exit(2)
 }
 
-// serveOptions declares the wire.Options flags shared by serve and
-// cluster (which forwards them to its child servers).
-func serveOptions(fs *flag.FlagSet) func() wire.Options {
-	inflight := fs.Int("inflight", 0, "per-connection worker-pool bound (0 = default 16)")
-	readTO := fs.Duration("read-timeout", 0, "per-frame read deadline (0 = none)")
-	writeTO := fs.Duration("write-timeout", 0, "per-write deadline (0 = none)")
-	socketDir := fs.String("local-socket-dir", "", "directory for the same-host unix socket (empty = TCP only)")
-	spillDir := fs.String("spill-dir", "", "directory for the disk-spill overflow file (empty = no disk tier)")
-	spillChunks := fs.Int("spill-chunks", 0, "cap on live disk-spilled chunks (0 = unbounded)")
-	noZC := fs.Bool("no-zero-copy", false, "serve spill-file reads through the portable buffered path")
-	return func() wire.Options {
-		return wire.Options{
-			Inflight:       *inflight,
-			ReadTimeout:    *readTO,
-			WriteTimeout:   *writeTO,
-			LocalSocketDir: *socketDir,
-			SpillDir:       *spillDir,
-			SpillChunks:    *spillChunks,
-			NoZeroCopy:     *noZC,
-		}
-	}
-}
-
+// serve runs one sponge server until interrupted. The implementation
+// lives in internal/scenario so the scenario harness can re-execute any
+// hosting binary (spongectl, spongesim, test binaries) as its child
+// servers.
 func serve(args []string) {
-	fs := flag.NewFlagSet("serve", flag.ExitOnError)
-	addr := fs.String("addr", "127.0.0.1:7070", "listen address")
-	chunk := fs.Int("chunk", 1<<20, "chunk size in bytes (the paper: 1 MB)")
-	chunks := fs.Int("chunks", 1024, "number of chunks in the sponge pool")
-	metricsAddr := fs.String("metrics-addr", "", "HTTP sidecar address serving /metrics (empty = none; OpMetrics always works)")
-	opts := serveOptions(fs)
-	fs.Parse(args)
-
-	pool := sponge.NewPool(*chunk, *chunks)
-	srv, err := wire.ServeOptions(pool, *addr, opts())
-	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
-	}
-	fmt.Printf("sponge server on %s: %d chunks × %d bytes (%d MB pool)\n",
-		srv.Addr(), *chunks, *chunk, *chunks**chunk>>20)
-	if s := srv.LocalSocket(); s != "" {
-		fmt.Printf("local socket %s\n", s)
-	}
-	if *metricsAddr != "" {
-		ln, err := net.Listen("tcp", *metricsAddr)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
-		}
-		mux := http.NewServeMux()
-		mux.Handle("/metrics", obs.Handler(srv.Metrics()))
-		go http.Serve(ln, mux)
-		fmt.Printf("metrics on http://%s/metrics\n", ln.Addr())
-	}
-	sig := make(chan os.Signal, 1)
-	signal.Notify(sig, os.Interrupt)
-	<-sig
-	srv.Close()
+	scenario.ServeCmd(args)
 }
 
 // statsCmd scrapes live daemons and renders the aggregated table. Wire
@@ -277,7 +222,7 @@ func clusterMain(args []string) {
 	killTracker := fs.Duration("kill-tracker", 0, "virtual time at which to fail the tracker mid-run (0 = never; pair with -tracker-replicas to watch the failover)")
 	delta := fs.Bool("delta", false, "delta free-space dissemination instead of the 1/s full poll")
 	combine := fs.Bool("combine", false, "also run a node-combine wordcount whose buffer overflow spills into the sponge, so combined data crosses the child servers")
-	opts := serveOptions(fs)
+	opts := scenario.ServeFlags(fs)
 	fs.Parse(args)
 
 	// The simulated half: node 0 runs the task (and the tracker); nodes
@@ -310,57 +255,20 @@ func clusterMain(args []string) {
 		})
 	}
 
-	exe, err := os.Executable()
+	wopts := opts()
+	h, err := scenario.Spawn(scenario.HarnessOptions{
+		Nodes:      *nodes,
+		ChunkBytes: svc.ChunkReal(),
+		Chunks:     *chunks,
+		Wire:       wopts,
+		Stderr:     os.Stderr,
+		Logf:       func(format string, args ...any) { fmt.Printf(format, args...) },
+	})
 	if err != nil {
 		fatal(err)
 	}
-	addrs := make(map[int]string, *nodes)
-	var children []*exec.Cmd
-	defer func() {
-		for _, cmd := range children {
-			cmd.Process.Kill()
-			cmd.Wait()
-		}
-	}()
-	wopts := opts()
-	for n := 1; n <= *nodes; n++ {
-		childArgs := []string{"serve",
-			"-addr", "127.0.0.1:0",
-			"-chunk", fmt.Sprint(svc.ChunkReal()),
-			"-chunks", fmt.Sprint(*chunks),
-			"-inflight", fmt.Sprint(wopts.Inflight),
-			"-read-timeout", wopts.ReadTimeout.String(),
-			"-write-timeout", wopts.WriteTimeout.String(),
-		}
-		// Co-located children share the socket directory, so the parent's
-		// transport auto-discovers the same-host tier per child.
-		if wopts.LocalSocketDir != "" {
-			childArgs = append(childArgs, "-local-socket-dir", wopts.LocalSocketDir)
-		}
-		if wopts.SpillDir != "" {
-			childArgs = append(childArgs, "-spill-dir", wopts.SpillDir,
-				"-spill-chunks", fmt.Sprint(wopts.SpillChunks))
-		}
-		if wopts.NoZeroCopy {
-			childArgs = append(childArgs, "-no-zero-copy")
-		}
-		cmd := exec.Command(exe, childArgs...)
-		cmd.Stderr = os.Stderr
-		out, err := cmd.StdoutPipe()
-		if err != nil {
-			fatal(err)
-		}
-		if err := cmd.Start(); err != nil {
-			fatal(err)
-		}
-		children = append(children, cmd)
-		addr, err := parseServeBanner(bufio.NewReader(out))
-		if err != nil {
-			fatal(fmt.Errorf("child %d: %v", n, err))
-		}
-		addrs[n] = addr
-		fmt.Printf("node%d -> child pid %d on %s\n", n, cmd.Process.Pid, addr)
-	}
+	defer h.Stop()
+	addrs := h.Addrs()
 
 	var transport sponge.Transport = wire.NewTransportOptions(addrs, svc.Transport(), wire.TransportOptions{
 		SocketDir: wopts.LocalSocketDir,
@@ -590,26 +498,6 @@ func clusterMain(args []string) {
 		"spongewire_delta_"); err != nil {
 		fatal(err)
 	}
-}
-
-// parseServeBanner extracts the listen address from a child server's
-// "sponge server on ADDR: ..." banner line.
-func parseServeBanner(out *bufio.Reader) (string, error) {
-	line, err := out.ReadString('\n')
-	if err != nil {
-		return "", fmt.Errorf("reading banner: %w", err)
-	}
-	const prefix = "sponge server on "
-	if !strings.HasPrefix(line, prefix) {
-		return "", fmt.Errorf("unexpected banner %q", strings.TrimSpace(line))
-	}
-	rest := line[len(prefix):]
-	if i := strings.IndexByte(rest, ':'); i >= 0 {
-		if j := strings.IndexByte(rest[i+1:], ':'); j >= 0 {
-			return rest[:i+1+j], nil
-		}
-	}
-	return "", fmt.Errorf("no address in banner %q", strings.TrimSpace(line))
 }
 
 func fatal(err error) {

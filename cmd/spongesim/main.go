@@ -1,0 +1,95 @@
+// Spongesim runs the scenario matrix: named suites of
+// topology × fault schedule × workload cases driven against real
+// multi-process sponge clusters, with assertions evaluated over
+// scraped metrics and a machine-readable JSON report for CI.
+//
+// Usage:
+//
+//	spongesim -list
+//	spongesim -run all [-report report.json] [-v]
+//	spongesim -run 'tracker|partition' -quick
+//	spongesim serve [flags]          (internal: child server mode)
+//
+// -run selects cases by regular expression ("all" runs everything);
+// -quick restricts to the fast smoke subset; -report writes the JSON
+// suite report; -v forwards the child servers' stderr. The exit status
+// is 0 only when every selected case passed. The serve subcommand is
+// how the harness re-executes this binary as the per-node sponge
+// servers — the same serve spongectl exposes.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+
+	"spongefiles/internal/scenario"
+)
+
+func main() {
+	// Harness child mode: the scenario runner re-executes this binary
+	// with "serve" as the per-node sponge server.
+	if len(os.Args) > 1 && os.Args[1] == "serve" {
+		scenario.ServeCmd(os.Args[2:])
+		return
+	}
+
+	fs := flag.NewFlagSet("spongesim", flag.ExitOnError)
+	list := fs.Bool("list", false, "list the scenario cases and exit")
+	run := fs.String("run", "", `regexp of case names to run ("all" = every case)`)
+	quick := fs.Bool("quick", false, "run only the quick smoke cases")
+	report := fs.String("report", "", "write the JSON suite report to this path")
+	verbose := fs.Bool("v", false, "forward child server stderr")
+	fs.Parse(os.Args[1:])
+
+	suite := scenario.SeedSuite()
+	if *list {
+		for _, cs := range suite.Cases {
+			quickMark := " "
+			if cs.Quick {
+				quickMark = "q"
+			}
+			fmt.Printf("%s %-28s %s\n", quickMark, cs.Name, cs.Desc)
+		}
+		return
+	}
+	if *run == "" {
+		fmt.Fprintln(os.Stderr, "usage: spongesim -list | spongesim -run <regexp>|all [-quick] [-report out.json] [-v]")
+		os.Exit(2)
+	}
+	opts := scenario.RunOptions{
+		QuickOnly: *quick,
+		Logf: func(format string, args ...any) {
+			fmt.Printf(format, args...)
+		},
+	}
+	if *run != "all" {
+		re, err := regexp.Compile(*run)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bad -run pattern: %v\n", err)
+			os.Exit(2)
+		}
+		opts.Filter = re
+	}
+	if *verbose {
+		opts.Stderr = os.Stderr
+	}
+
+	rep := scenario.RunSuite(suite, opts)
+	fmt.Println()
+	rep.Summarize(os.Stdout)
+	if *report != "" {
+		if err := rep.WriteFile(*report); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("report written to %s\n", *report)
+	}
+	if !rep.OK() {
+		if rep.Passed == 0 && rep.Failed == 0 {
+			fmt.Fprintln(os.Stderr, "no cases matched")
+		}
+		os.Exit(1)
+	}
+}

@@ -110,6 +110,21 @@ func SnapshotJSON(r *Registry) ([]byte, error) {
 	return json.MarshalIndent(m, "", "  ") // json sorts object keys
 }
 
+// MergeSamples sums several parsed scrapes into one series id -> value
+// map. Counters from different nodes add; for the scenario harness's
+// merged evidence the producers keep their series disjoint (sponge_* on
+// the parent, spongewire_* on the children), so gauges are not
+// double-merged in practice.
+func MergeSamples(maps ...map[string]int64) map[string]int64 {
+	out := make(map[string]int64)
+	for _, m := range maps {
+		for id, v := range m {
+			out[id] += v
+		}
+	}
+	return out
+}
+
 // MatchPrefix returns the ids in samples whose bare metric name starts
 // with prefix, sorted. A convenience for tests and filtering.
 func MatchPrefix(samples map[string]int64, prefix string) []string {

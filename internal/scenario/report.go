@@ -1,0 +1,67 @@
+package scenario
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+)
+
+// Report is the machine-readable suite result CI consumes. Field names
+// are a stable contract — the golden round-trip test pins them — so
+// downstream tooling can parse report.json across versions.
+type Report struct {
+	Suite   string `json:"suite"`
+	Started string `json:"started"` // RFC3339 UTC
+	// DurationMs is wall-clock (the workloads run in virtual time, but
+	// the child processes and their sockets are real).
+	DurationMs float64      `json:"duration_ms"`
+	Passed     int          `json:"passed"`
+	Failed     int          `json:"failed"`
+	Cases      []CaseReport `json:"cases"`
+}
+
+// CaseReport is one case's verdict plus the evidence behind it.
+type CaseReport struct {
+	Name       string  `json:"name"`
+	Desc       string  `json:"description"`
+	Pass       bool    `json:"pass"`
+	DurationMs float64 `json:"duration_ms"`
+	// Evidence maps each asserted series id to its scraped value.
+	Evidence map[string]int64 `json:"evidence"`
+	// Failures lists everything that went wrong: failed assertions,
+	// missing metrics, workload and fault-schedule errors.
+	Failures []string `json:"failures,omitempty"`
+	// Artifacts are auxiliary strings (e.g. child listen addresses)
+	// useful when a failing case is re-run by hand.
+	Artifacts map[string]string `json:"artifacts,omitempty"`
+}
+
+// OK reports whether every executed case passed and at least one ran.
+func (r *Report) OK() bool { return r.Failed == 0 && r.Passed > 0 }
+
+// JSON renders the report as indented JSON with a trailing newline.
+func (r *Report) JSON() []byte {
+	b, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		panic(err) // no unmarshalable types in the schema
+	}
+	return append(b, '\n')
+}
+
+// WriteFile writes the JSON report to path.
+func (r *Report) WriteFile(path string) error {
+	return os.WriteFile(path, r.JSON(), 0o644)
+}
+
+// Summarize prints the one-line human verdict per case plus the totals.
+func (r *Report) Summarize(w io.Writer) {
+	for _, c := range r.Cases {
+		verdict := "PASS"
+		if !c.Pass {
+			verdict = "FAIL"
+		}
+		fmt.Fprintf(w, "%-4s %-28s %8.0f ms  %s\n", verdict, c.Name, c.DurationMs, c.Desc)
+	}
+	fmt.Fprintf(w, "%d passed, %d failed (%.1f s)\n", r.Passed, r.Failed, r.DurationMs/1000)
+}

@@ -1,0 +1,129 @@
+package scenario
+
+import (
+	"encoding/json"
+	"reflect"
+	"testing"
+)
+
+// goldenReport is a fully populated report whose rendered JSON is the
+// schema contract: field names here are what CI tooling parses, so a
+// rename shows up as a test diff, not as a silently broken pipeline.
+func goldenReport() Report {
+	return Report{
+		Suite:      "seed",
+		Started:    "2026-01-02T03:04:05Z",
+		DurationMs: 1234.5,
+		Passed:     1,
+		Failed:     1,
+		Cases: []CaseReport{
+			{
+				Name:       "spill-roundtrip-clean",
+				Desc:       "fault-free spill",
+				Pass:       true,
+				DurationMs: 12.25,
+				Evidence: map[string]int64{
+					"sponge_chunks_lost_total": 0,
+				},
+				Artifacts: map[string]string{"node1": "127.0.0.1:7070"},
+			},
+			{
+				Name:       "partition-mid-job",
+				Desc:       "partition case",
+				Pass:       false,
+				DurationMs: 8,
+				Evidence:   map[string]int64{},
+				Failures:   []string{`assert sponge_fault_blocked_total >= 1: got 0`},
+			},
+		},
+	}
+}
+
+const goldenJSON = `{
+  "suite": "seed",
+  "started": "2026-01-02T03:04:05Z",
+  "duration_ms": 1234.5,
+  "passed": 1,
+  "failed": 1,
+  "cases": [
+    {
+      "name": "spill-roundtrip-clean",
+      "description": "fault-free spill",
+      "pass": true,
+      "duration_ms": 12.25,
+      "evidence": {
+        "sponge_chunks_lost_total": 0
+      },
+      "artifacts": {
+        "node1": "127.0.0.1:7070"
+      }
+    },
+    {
+      "name": "partition-mid-job",
+      "description": "partition case",
+      "pass": false,
+      "duration_ms": 8,
+      "evidence": {},
+      "failures": [
+        "assert sponge_fault_blocked_total \u003e= 1: got 0"
+      ]
+    }
+  ]
+}
+`
+
+// TestReportGoldenRoundTrip pins the report schema byte for byte and
+// proves unmarshalling the rendered JSON reproduces the source struct.
+func TestReportGoldenRoundTrip(t *testing.T) {
+	rep := goldenReport()
+	got := string(rep.JSON())
+	if got != goldenJSON {
+		t.Fatalf("report JSON drifted from the golden schema.\ngot:\n%s\nwant:\n%s", got, goldenJSON)
+	}
+	var back Report
+	if err := json.Unmarshal([]byte(got), &back); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if !reflect.DeepEqual(rep, back) {
+		t.Fatalf("round trip drifted:\ngot  %+v\nwant %+v", back, rep)
+	}
+}
+
+// TestReportFieldNames guards the key set itself, independent of
+// formatting, so adding a field forces a deliberate golden update.
+func TestReportFieldNames(t *testing.T) {
+	rep := goldenReport()
+	var m map[string]json.RawMessage
+	if err := json.Unmarshal(rep.JSON(), &m); err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range []string{"suite", "started", "duration_ms", "passed", "failed", "cases"} {
+		if _, ok := m[k]; !ok {
+			t.Errorf("report missing field %q", k)
+		}
+	}
+	var cases []map[string]json.RawMessage
+	if err := json.Unmarshal(m["cases"], &cases); err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range []string{"name", "description", "pass", "duration_ms", "evidence"} {
+		if _, ok := cases[0][k]; !ok {
+			t.Errorf("case missing field %q", k)
+		}
+	}
+}
+
+func TestReportOK(t *testing.T) {
+	r := &Report{Passed: 2}
+	if !r.OK() {
+		t.Error("all-pass report not OK")
+	}
+	r.Failed = 1
+	if r.OK() {
+		t.Error("failed report OK")
+	}
+	empty := &Report{}
+	if empty.OK() {
+		t.Error("empty report OK — a filter matching nothing must not pass CI")
+	}
+}

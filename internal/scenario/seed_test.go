@@ -1,0 +1,128 @@
+package scenario
+
+import (
+	"regexp"
+	"testing"
+
+	"spongefiles/internal/cluster"
+	"spongefiles/internal/media"
+	"spongefiles/internal/obs"
+	"spongefiles/internal/simtime"
+	"spongefiles/internal/sponge"
+	"spongefiles/internal/sponge/wire"
+)
+
+func TestSeedSuiteShape(t *testing.T) {
+	suite := SeedSuite()
+	if len(suite.Cases) < 10 {
+		t.Fatalf("seed suite has %d cases, want >= 10", len(suite.Cases))
+	}
+	names := map[string]bool{}
+	quick := 0
+	for i := range suite.Cases {
+		cs := &suite.Cases[i]
+		if names[cs.Name] {
+			t.Errorf("duplicate case name %s", cs.Name)
+		}
+		names[cs.Name] = true
+		if err := cs.Validate(); err != nil {
+			t.Errorf("case %s: %v", cs.Name, err)
+		}
+		if cs.Quick {
+			quick++
+		}
+	}
+	if quick == 0 {
+		t.Error("no quick cases — the CI smoke subset is empty")
+	}
+	// The acceptance pair: a kill-the-tracker-leader case asserting no
+	// chunk lost, and a partition case asserting digest-equal output.
+	for _, required := range []string{"tracker-failover-mid-job", "partition-mid-job"} {
+		if !names[required] {
+			t.Errorf("seed suite missing required case %s", required)
+		}
+	}
+}
+
+// TestSeedAssertedMetricsExist scrapes a live registry wired the way
+// RunCase wires one — sponge service, fault transport, wire transport,
+// scenario gauges, plus one NodeCombine job for the mr_* family — and
+// checks that every series id the seed suite asserts on is present.
+// This is the tripwire for metric renames: renaming an obs series
+// without updating the seed cases fails here, not silently in CI.
+func TestSeedAssertedMetricsExist(t *testing.T) {
+	cfg := cluster.PaperConfig()
+	cfg.Workers = 4
+	cfg.SpongeMemory = 2 * media.MB
+	sim := simtime.New()
+	c := cluster.New(sim, cfg)
+	reg := obs.NewRegistry()
+	scfg := sponge.DefaultConfig()
+	scfg.TrackerReplicas = 1
+	scfg.Metrics = reg
+	svc := sponge.Start(c, scfg)
+	// No children here: an empty address map routes everything through
+	// the sim fallback, but still registers every transport series.
+	svc.SetTransport(sponge.NewFaultTransport(
+		wire.NewTransportOptions(map[int]string{}, svc.Transport(), wire.TransportOptions{Metrics: reg}),
+		sponge.FaultConfig{Seed: 1}))
+
+	rc := &RunContext{
+		Case:        &Case{Name: "metric-probe"},
+		Cluster:     c,
+		Svc:         svc,
+		Reg:         reg,
+		digestMatch: reg.Gauge("scenario_output_digest_match"),
+		workloadOK:  reg.Gauge("scenario_workload_ok"),
+	}
+	// mr_node_combine_* series only exist once a NodeCombine job has
+	// started; run a tiny one.
+	var wlErr error
+	sim.Spawn("probe", func(p *simtime.Proc) {
+		wlErr = WordCountWorkload{Records: 2000, Vocab: 40, NodeCombine: true}.Run(rc, p)
+	})
+	sim.MustRun()
+	if wlErr != nil {
+		t.Fatalf("probe workload: %v", wlErr)
+	}
+
+	scrape, err := obs.ParseText(reg.Text())
+	if err != nil {
+		t.Fatalf("scrape: %v", err)
+	}
+	for _, cs := range SeedSuite().Cases {
+		for _, a := range cs.Assert {
+			if _, ok := scrape[a.Metric]; !ok {
+				t.Errorf("case %s asserts %q, which no live registry scrape exposes", cs.Name, a.Metric)
+			}
+		}
+	}
+}
+
+// TestRunCaseEndToEnd drives one quick seed case through the full
+// RunCase machinery — real child processes included — and checks the
+// report it produces.
+func TestRunCaseEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns child processes")
+	}
+	suite := SeedSuite()
+	re := regexp.MustCompile(`^spill-roundtrip-clean$`)
+	rep := RunSuite(suite, RunOptions{Filter: re})
+	if len(rep.Cases) != 1 {
+		t.Fatalf("got %d cases, want 1", len(rep.Cases))
+	}
+	cr := rep.Cases[0]
+	if !cr.Pass {
+		t.Fatalf("case failed: %v", cr.Failures)
+	}
+	if !rep.OK() {
+		t.Fatal("report not OK after a passing case")
+	}
+	if cr.Evidence["scenario_output_digest_match"] != 1 {
+		t.Errorf("evidence missing digest match: %v", cr.Evidence)
+	}
+	if len(cr.Artifacts) != 3 {
+		t.Errorf("want 3 child address artifacts, got %v", cr.Artifacts)
+	}
+}

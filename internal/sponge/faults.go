@@ -134,6 +134,25 @@ func (ft *FaultTransport) SetLinkDrop(a, b int, rate float64) {
 	ft.mu.Unlock()
 }
 
+// SetDropRate replaces the global drop probability at runtime — the
+// scenario harness's drop-rate ramps (degrade mid-job, recover later).
+// Per-link overrides from SetLinkDrop still win. Changing the rate
+// consumes no randomness: the roll stream depends only on exchange
+// order, so a ramp at a fixed workload point is as deterministic as a
+// fixed rate.
+func (ft *FaultTransport) SetDropRate(rate float64) {
+	ft.mu.Lock()
+	ft.cfg.DropRate = rate
+	ft.mu.Unlock()
+}
+
+// SetErrRate replaces the global fast-error probability at runtime.
+func (ft *FaultTransport) SetErrRate(rate float64) {
+	ft.mu.Lock()
+	ft.cfg.ErrRate = rate
+	ft.mu.Unlock()
+}
+
 // AttachMetrics mirrors the wrapper's counters into reg as
 // sponge_fault_*_total series. Service.SetTransport calls this
 // automatically; callers wiring a FaultTransport around a raw wire

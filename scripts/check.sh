@@ -60,4 +60,10 @@ echo "== node-combine shape + determinism smoke =="
 go test -count=1 -run 'TestNodeCombineCutsShuffleAndPreservesAnswer|TestNodeCombineDeterministicOutput' \
 	./internal/mapreduce
 
+echo "== scenario matrix smoke (quick cases) =="
+# The two quick seed scenarios — a digest-verified spill round trip and
+# the delta-dissemination convergence case — run against real child
+# server processes, end to end through the spongesim runner.
+go run ./cmd/spongesim -run 'spill-roundtrip-clean|delta-convergence' -report /tmp/scenario-smoke.json
+
 echo "tier2 OK"
